@@ -1,0 +1,15 @@
+"""Ablation — parallel TAS* over a chopped preference region (Section 7 future work)."""
+
+import pytest
+
+from repro.experiments.ablations import ablation_parallel
+
+
+def test_ablation_parallel_solving(benchmark, scale, report):
+    rows = benchmark.pedantic(
+        ablation_parallel, args=(scale,), kwargs={"worker_counts": (1, 2)}, rounds=1, iterations=1
+    )
+    report(rows, "Ablation: sequential vs parallel TAS* (chopped wR)")
+    # Parallelism must never change the answer; speed-ups depend on the scale
+    # (process start-up dominates at smoke scale) and are reported, not asserted.
+    assert all(row["answers_match"] for row in rows)

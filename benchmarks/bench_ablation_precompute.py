@@ -1,0 +1,16 @@
+"""Ablation — per-dataset pre-computation for repeated TopRR queries (Section 7 future work)."""
+
+import pytest
+
+from repro.experiments.ablations import ablation_precompute
+
+
+def test_ablation_precompute_repeated_queries(benchmark, scale, report):
+    rows = benchmark.pedantic(ablation_precompute, args=(scale,), rounds=1, iterations=1)
+    report(rows, "Ablation: direct solves vs precomputed skyband + result cache")
+    direct, precomputed = rows
+    assert precomputed["answers_match"]
+    # The precomputed candidate set must be a strict subset of the dataset.
+    assert precomputed["candidate_options"] < direct["candidate_options"]
+    # Query time (excluding the one-off build) must not regress.
+    assert precomputed["query_seconds"] <= direct["query_seconds"] * 1.25

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the core building blocks (not tied to a specific figure).
+
+These complement the per-figure benchmarks by timing the individual
+primitives whose costs dominate TopRR processing: the r-skyband filter, the
+kIPR vertex test, one region split, and a full TAS* solve at the default
+(smoke/scaled) parameters.  They are the numbers to watch when optimising
+the implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kipr import WorkingSet, find_kipr_violation, region_profiles
+from repro.core.splitting import split_region
+from repro.core.toprr import solve_toprr
+from repro.data.generators import generate_independent
+from repro.experiments.config import defaults
+from repro.preference.random_regions import random_hypercube_region
+from repro.pruning.rskyband import r_skyband
+
+
+@pytest.fixture(scope="module")
+def instance(scale):
+    base = defaults(scale)
+    n = min(base.n_options, 20_000)
+    dataset = generate_independent(n, base.n_attributes, rng=base.seed)
+    region = random_hypercube_region(base.n_attributes, base.sigma, rng=base.seed + 1)
+    return dataset, base.k, region
+
+
+def test_bench_r_skyband_filter(benchmark, instance):
+    dataset, k, region = instance
+    indices = benchmark(r_skyband, dataset, k, region)
+    assert len(indices) >= k
+
+
+def test_bench_kipr_test(benchmark, instance):
+    dataset, k, region = instance
+    filtered = dataset.subset(r_skyband(dataset, k, region))
+    working = WorkingSet.from_dataset(filtered, k)
+
+    def run():
+        profiles = region_profiles(working, region)
+        return find_kipr_violation(profiles)
+
+    benchmark(run)
+
+
+def test_bench_single_split(benchmark, instance):
+    dataset, k, region = instance
+    filtered = dataset.subset(r_skyband(dataset, k, region))
+    working = WorkingSet.from_dataset(filtered, k)
+    profiles = region_profiles(working, region)
+    violation = find_kipr_violation(profiles)
+    if violation is None:
+        pytest.skip("default region happens to be a kIPR; nothing to split")
+    below, above, _, found = benchmark(
+        split_region, region, working, profiles, violation
+    )
+    assert found and below is not None and above is not None
+
+
+def test_bench_tas_star_end_to_end(benchmark, instance):
+    dataset, k, region = instance
+    result = benchmark(solve_toprr, dataset, k, region, method="tas*")
+    assert result.n_vertices > 0
+
+
+def test_bench_membership_queries(benchmark, instance):
+    dataset, k, region = instance
+    result = solve_toprr(dataset, k, region, method="tas*")
+    probes = np.random.default_rng(0).random((10_000, dataset.n_attributes))
+    mask = benchmark(result.contains_many, probes)
+    assert mask.shape == (10_000,)

@@ -1,0 +1,10 @@
+"""Figure 7 — case study: introducing a new laptop for two target clienteles."""
+
+from repro.experiments.figures import figure7_case_study
+
+
+def test_fig7_case_study(benchmark, scale, report):
+    rows = benchmark(figure7_case_study, scale)
+    report(rows, "Figure 7: cost-optimal laptop placement (k=3)")
+    assert len(rows) == 2
+    assert all(row["cost"] > 0 for row in rows)

@@ -1,0 +1,13 @@
+"""Figure 8 — trade-off between the four pre-filters (retained options vs time)."""
+
+from repro.experiments.figures import figure8_filter_tradeoff
+
+
+def test_fig8_filter_tradeoff(benchmark, scale, report):
+    rows = benchmark(figure8_filter_tradeoff, scale)
+    report(rows, "Figure 8: pre-filter trade-offs (normalised |D'| vs time)")
+    by_name = {row["filter"]: row for row in rows}
+    # The r-skyband must retain no more options than the region-agnostic filters,
+    # and UTK is the tightest of all (the paper's motivation for choosing r-skyband).
+    assert by_name["r-skyband"]["retained"] <= by_name["k-skyband"]["retained"]
+    assert by_name["utk"]["retained"] <= by_name["r-skyband"]["retained"]

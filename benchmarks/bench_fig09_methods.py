@@ -1,0 +1,28 @@
+"""Figure 9 — PAC vs TAS vs TAS* while varying k, sigma, n and d.
+
+The paper's headline comparison: TAS* beats TAS, and both beat PAC by up to
+two orders of magnitude.  Each benchmark regenerates one panel of Figure 9
+and asserts the qualitative ordering (TAS* never slower than PAC on average,
+and never producing more V_all vertices than TAS).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure9_methods
+
+
+def _total_seconds(rows, method):
+    return float(np.sum([row["seconds"] for row in rows if row["method"] == method]))
+
+
+def _total_vertices(rows, method):
+    return float(np.sum([row["n_vertices"] for row in rows if row["method"] == method]))
+
+
+@pytest.mark.parametrize("vary,panel", [("k", "a"), ("sigma", "b"), ("n", "c"), ("d", "d")])
+def test_fig9_method_comparison(benchmark, scale, report, vary, panel):
+    rows = benchmark.pedantic(figure9_methods, args=(vary, scale), rounds=1, iterations=1)
+    report(rows, f"Figure 9({panel}): PAC vs TAS vs TAS* varying {vary}")
+    assert _total_seconds(rows, "TAS*") <= _total_seconds(rows, "PAC") * 1.05
+    assert _total_vertices(rows, "TAS*") <= _total_vertices(rows, "TAS") + 1e-9

@@ -1,0 +1,18 @@
+"""Figure 10 — TAS* robustness across data distributions (COR / IND / ANTI)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure10_distributions
+
+
+def _total_seconds(rows, distribution):
+    return float(np.sum([row["seconds"] for row in rows if row["distribution"] == distribution]))
+
+
+@pytest.mark.parametrize("vary,panel", [("k", "a"), ("sigma", "b"), ("n", "c"), ("d", "d")])
+def test_fig10_distributions(benchmark, scale, report, vary, panel):
+    rows = benchmark.pedantic(figure10_distributions, args=(vary, scale), rounds=1, iterations=1)
+    report(rows, f"Figure 10({panel}): TAS* on COR/IND/ANTI varying {vary}")
+    # ANTI is the hardest distribution (largest r-skyband), COR the easiest.
+    assert _total_seconds(rows, "COR") <= _total_seconds(rows, "ANTI") * 1.5

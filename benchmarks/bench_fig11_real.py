@@ -1,0 +1,14 @@
+"""Figure 11 — TAS* on the real-dataset surrogates (HOTEL, HOUSE, NBA)."""
+
+import pytest
+
+from repro.experiments.figures import figure11_real
+
+
+@pytest.mark.parametrize("vary,panel", [("k", "a"), ("sigma", "b")])
+def test_fig11_real_datasets(benchmark, scale, report, vary, panel):
+    rows = benchmark.pedantic(figure11_real, args=(vary, scale), rounds=1, iterations=1)
+    report(rows, f"Figure 11({panel}): TAS* on real-dataset surrogates varying {vary}")
+    datasets = {row["dataset"] for row in rows}
+    assert datasets == {"HOTEL", "HOUSE", "NBA"}
+    assert all(row["seconds"] > 0 for row in rows)

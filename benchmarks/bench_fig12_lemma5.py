@@ -1,0 +1,12 @@
+"""Figure 12 — pruning power of consistent top-λ options (Lemma 5, Section 5.1)."""
+
+import pytest
+
+from repro.experiments.figures import figure12_lemma5
+
+
+@pytest.mark.parametrize("vary,panel", [("k", "a"), ("sigma", "b")])
+def test_fig12_lemma5_pruning(benchmark, scale, report, vary, panel):
+    rows = benchmark.pedantic(figure12_lemma5, args=(vary, scale), rounds=1, iterations=1)
+    report(rows, f"Figure 12({panel}): |D'| with r-skyband vs r-skyband + Lemma 5, varying {vary}")
+    assert all(row["r_skyband_lemma5"] <= row["r_skyband"] for row in rows)

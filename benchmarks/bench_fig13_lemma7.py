@@ -1,0 +1,12 @@
+"""Figure 13 — effect of the optimized region testing (Lemma 7, Section 5.2) on |V_all|."""
+
+import pytest
+
+from repro.experiments.figures import figure13_lemma7
+
+
+@pytest.mark.parametrize("vary,panel", [("k", "a"), ("sigma", "b")])
+def test_fig13_lemma7_vertices(benchmark, scale, report, vary, panel):
+    rows = benchmark.pedantic(figure13_lemma7, args=(vary, scale), rounds=1, iterations=1)
+    report(rows, f"Figure 13({panel}): |V_all| with Lemma 7 enabled vs disabled, varying {vary}")
+    assert all(row["lemma7_enabled"] <= row["lemma7_disabled"] + 1e-9 for row in rows)

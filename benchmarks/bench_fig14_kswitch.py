@@ -1,0 +1,16 @@
+"""Figure 14 — effect of the k-switch splitting hyperplane selection (Section 5.3) on |V_all|."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure14_kswitch
+
+
+@pytest.mark.parametrize("vary,panel", [("k", "a"), ("sigma", "b")])
+def test_fig14_kswitch_vertices(benchmark, scale, report, vary, panel):
+    rows = benchmark.pedantic(figure14_kswitch, args=(vary, scale), rounds=1, iterations=1)
+    report(rows, f"Figure 14({panel}): |V_all| with k-switch enabled vs disabled, varying {vary}")
+    total_enabled = float(np.sum([row["k_switch_enabled"] for row in rows]))
+    total_disabled = float(np.sum([row["k_switch_disabled"] for row in rows]))
+    # On aggregate the k-switch strategy must not increase the number of vertices.
+    assert total_enabled <= total_disabled * 1.1 + 5

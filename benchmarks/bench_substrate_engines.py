@@ -1,0 +1,14 @@
+"""Substrate — access-cost profile of the top-k engines (Section 2 building blocks)."""
+
+import pytest
+
+from repro.experiments.ablations import substrate_engines
+
+
+def test_substrate_topk_engines(benchmark, scale, report):
+    rows = benchmark.pedantic(substrate_engines, args=(scale,), rounds=1, iterations=1)
+    report(rows, "Substrate: full scan vs branch-and-bound vs threshold algorithm")
+    assert all(row["agrees_with_reference"] for row in rows)
+    by_engine = {row["engine"]: row for row in rows}
+    # The early-terminating engines must touch only a fraction of the data.
+    assert by_engine["threshold algorithm (sorted lists)"]["touched_fraction"] < 1.0

@@ -1,0 +1,14 @@
+"""Table 7 — effect of the preference-region elongation factor gamma on TAS*."""
+
+import numpy as np
+
+from repro.experiments.figures import table7_elongation
+
+
+def test_table7_elongation(benchmark, scale, report):
+    rows = benchmark.pedantic(table7_elongation, args=(scale,), rounds=1, iterations=1)
+    report(rows, "Table 7: wR elongation (equal volume, one side stretched by gamma)")
+    # The paper's finding: TAS* is not significantly affected by elongation.
+    for dataset in ("hotel", "house", "nba"):
+        seconds = np.array([row[f"{dataset}_seconds"] for row in rows])
+        assert seconds.max() <= max(10.0 * seconds.min(), seconds.min() + 5.0)

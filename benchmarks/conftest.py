@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark target regenerates one figure or table of the paper's
+evaluation section through the harness in :mod:`repro.experiments.figures`.
+The scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable
+(``smoke`` by default so that ``pytest benchmarks/ --benchmark-only``
+completes in minutes on a laptop; set it to ``scaled`` or ``paper`` for
+larger runs).  Every benchmark prints the rows it measured, so the benchmark
+log doubles as the reproduction of the figure's data series.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.config import Scale  # noqa: E402
+from repro.experiments.reporting import format_table  # noqa: E402
+
+
+def bench_scale() -> Scale:
+    """Scale used by the benchmark suite (``REPRO_BENCH_SCALE``, default smoke)."""
+    return Scale.parse(os.environ.get("REPRO_BENCH_SCALE", "smoke"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """Session-wide benchmark scale."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Helper that pretty-prints the rows produced by an experiment runner."""
+
+    def _report(rows, title):
+        print()
+        print(format_table(rows, title=title))
+        return rows
+
+    return _report

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without requiring installation.
+
+The package is normally installed with ``pip install -e .``; this fallback
+keeps the test and benchmark suites runnable in minimal offline environments
+(no ``wheel`` package available for editable installs).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that legacy editable installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) work in offline environments where the ``wheel``
+package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

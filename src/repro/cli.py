@@ -1,0 +1,117 @@
+"""Command-line interface.
+
+Examples
+--------
+List all reproducible experiments::
+
+    toprr list
+
+Run one experiment (Figure 9a at smoke scale) and print its table::
+
+    toprr run fig9a --scale smoke
+
+Solve a single TopRR instance on synthetic data::
+
+    toprr solve --n 5000 --d 4 --k 10 --sigma 0.05 --method "tas*"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.placement import cheapest_new_option
+from repro.core.toprr import solve_toprr
+from repro.data.generators import generate_synthetic
+from repro.experiments.ablations import ABLATIONS, run_ablation
+from repro.experiments.config import Scale
+from repro.experiments.figures import EXPERIMENTS, run_experiment
+from repro.experiments.reporting import format_table, save_csv_rows
+from repro.preference.random_regions import random_hypercube_region
+from repro.version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="toprr",
+        description="TopRR: creating top ranking options (VLDB 2019 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list the reproducible figures and tables")
+
+    run = sub.add_parser("run", help="run one experiment or ablation and print its rows")
+    run.add_argument(
+        "experiment",
+        help=f"experiment id, one of {sorted(EXPERIMENTS) + sorted(ABLATIONS)}",
+    )
+    run.add_argument("--scale", default="scaled", help="smoke | scaled | paper (default: scaled)")
+    run.add_argument("--csv", default=None, help="optional path to save the rows as CSV")
+
+    solve = sub.add_parser("solve", help="solve one TopRR instance on synthetic data")
+    solve.add_argument("--n", type=int, default=10_000, help="number of options")
+    solve.add_argument("--d", type=int, default=4, help="number of attributes")
+    solve.add_argument("--k", type=int, default=10, help="rank requirement k")
+    solve.add_argument("--sigma", type=float, default=0.01, help="preference-region side length")
+    solve.add_argument("--distribution", default="IND", help="IND | COR | ANTI")
+    solve.add_argument("--method", default="tas*", help="tas* | tas | pac")
+    solve.add_argument("--seed", type=int, default=7, help="random seed")
+
+    return parser
+
+
+def _command_list() -> int:
+    for registry, heading in ((EXPERIMENTS, "paper experiments"), (ABLATIONS, "extension studies")):
+        print(f"[{heading}]")
+        for name in sorted(registry):
+            doc = (registry[name].__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"  {name:20s}  {summary}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    scale = Scale.parse(args.scale)
+    if args.experiment in ABLATIONS:
+        rows = run_ablation(args.experiment, scale=scale)
+    else:
+        rows = run_experiment(args.experiment, scale=scale)
+    print(format_table(rows, title=f"{args.experiment} (scale={scale.value})"))
+    if args.csv:
+        path = save_csv_rows(rows, args.csv)
+        print(f"\nsaved {len(rows)} rows to {path}")
+    return 0
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    dataset = generate_synthetic(args.distribution, args.n, args.d, rng=args.seed)
+    region = random_hypercube_region(args.d, args.sigma, rng=args.seed + 1)
+    result = solve_toprr(dataset, args.k, region, method=args.method)
+    print(format_table([result.summary()], title="TopRR result"))
+    if not result.is_empty():
+        placement = cheapest_new_option(result)
+        values = ", ".join(f"{v:.4f}" for v in placement.option)
+        print(f"\ncost-optimal new option: [{values}]  (sum-of-squares cost {placement.cost:.4f})")
+    else:
+        print("\nthe top-ranking region is empty within the unit option box")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "solve":
+        return _command_solve(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

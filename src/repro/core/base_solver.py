@@ -1,0 +1,189 @@
+"""Shared machinery of the test-and-split solvers (TAS and TAS*).
+
+Both algorithms follow the same recursive skeleton (Algorithms 1 and 2 of the
+paper): pop a preference region, test it, either accept its defining vertices
+into ``V_all`` or split it and recurse.  They differ only in which tests and
+which splitting strategy are enabled, so a single :class:`BaseTestAndSplit`
+implements the loop with three switches:
+
+* ``use_lemma5`` — consistent top-λ pruning (Section 5.1),
+* ``use_lemma7`` — optimized region testing (Section 5.2),
+* ``strategy``  — ``"random"`` or ``"k-switch"`` splitting-pair selection
+  (Section 5.3).
+
+The recursion is implemented with an explicit stack so that deep partitions
+do not hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.kipr import (
+    WorkingSet,
+    consistent_top_lambda,
+    find_kipr_violation,
+    passes_lemma7,
+    region_profiles,
+)
+from repro.core.splitting import split_region
+from repro.core.stats import SolverStats
+from repro.data.dataset import Dataset
+from repro.exceptions import DegeneratePolytopeError, EmptyRegionError, InvalidParameterError
+from repro.geometry.polytope import merge_vertex_sets
+from repro.preference.region import PreferenceRegion
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+
+class BaseTestAndSplit:
+    """Common engine behind :class:`TASSolver` and :class:`TASStarSolver`.
+
+    Parameters
+    ----------
+    use_lemma5:
+        Enable consistent top-λ pruning at every recursive call.
+    use_lemma7:
+        Enable the optimized region test (accept regions whose vertices share
+        the same top-(k-1) set without splitting them down to kIPRs).
+    strategy:
+        Splitting-pair selection strategy, ``"random"`` or ``"k-switch"``.
+    rng:
+        Seed or generator controlling the random choices of the ``"random"``
+        strategy (and tie-breaking among equally good fallback pairs).
+    max_regions:
+        Safety cap on the number of regions processed; exceeding it raises,
+        which signals a degenerate instance rather than silently looping.
+    tol:
+        Tolerance bundle forwarded to the geometric predicates.
+    """
+
+    #: Human-readable solver name, overridden by subclasses.
+    name = "test-and-split"
+
+    def __init__(
+        self,
+        use_lemma5: bool,
+        use_lemma7: bool,
+        strategy: str,
+        rng: RngLike = 0,
+        max_regions: int = 500_000,
+        tol: Tolerance = DEFAULT_TOL,
+    ):
+        self.use_lemma5 = bool(use_lemma5)
+        self.use_lemma7 = bool(use_lemma7)
+        self.strategy = strategy
+        self._rng = ensure_rng(rng)
+        self.max_regions = int(max_regions)
+        self.tol = tol
+
+    # ------------------------------------------------------------------ #
+    # the recursive partitioning loop
+    # ------------------------------------------------------------------ #
+    def partition(
+        self,
+        filtered: Dataset,
+        k: int,
+        region: PreferenceRegion,
+        stats: Optional[SolverStats] = None,
+    ) -> np.ndarray:
+        """Partition ``region`` and return ``V_all`` (reduced vertex coordinates).
+
+        ``filtered`` must already be the r-skyband (or any superset of the
+        options that can appear in a top-k result inside ``region``); the
+        front end in :mod:`repro.core.toprr` takes care of that.
+        """
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        if region.n_attributes != filtered.n_attributes:
+            raise InvalidParameterError(
+                "preference region and dataset disagree on the number of attributes"
+            )
+        stats = stats if stats is not None else SolverStats()
+        root_working = WorkingSet.from_dataset(filtered, k)
+        stats.k_effective = root_working.k
+
+        accepted_vertex_sets: List[np.ndarray] = []
+        stack: List[Tuple[PreferenceRegion, WorkingSet]] = [(region, root_working)]
+
+        while stack:
+            if stats.n_regions_tested >= self.max_regions:
+                raise RuntimeError(
+                    f"{self.name}: exceeded the safety cap of {self.max_regions} regions; "
+                    "the instance is likely degenerate"
+                )
+            current, working = stack.pop()
+            stats.n_regions_tested += 1
+
+            try:
+                vertices = current.vertices
+            except (DegeneratePolytopeError, EmptyRegionError):
+                continue
+            if vertices.shape[0] == 0:
+                continue
+
+            profiles = region_profiles(working, current)
+
+            if self.use_lemma5:
+                lam, phi = consistent_top_lambda(profiles, working.k)
+                if lam > 0 and working.n_active - lam >= 1:
+                    working = working.without_options(phi, working.k - lam)
+                    stats.n_lemma5_reductions += 1
+                    stats.k_effective = min(stats.k_effective, working.k)
+                    profiles = region_profiles(working, current)
+
+            violation = find_kipr_violation(profiles)
+            if violation is None:
+                stats.n_kipr_regions += 1
+                accepted_vertex_sets.append(vertices)
+                continue
+
+            if self.use_lemma7 and passes_lemma7(profiles, working.k):
+                stats.n_lemma7_regions += 1
+                accepted_vertex_sets.append(vertices)
+                continue
+
+            below, above, _decision, cut_found = split_region(
+                current,
+                working,
+                profiles,
+                violation,
+                strategy=self.strategy,
+                rng=self._rng,
+                tol=self.tol,
+            )
+            if not cut_found:
+                # Every witnessed violating pair keeps a constant score order
+                # in the region's interior (the violation is a tie at a
+                # boundary vertex), so the interior is rank-invariant and the
+                # region can be accepted without splitting.
+                stats.n_fallback_splits += 1
+                stats.n_kipr_regions += 1
+                accepted_vertex_sets.append(vertices)
+                continue
+
+            stats.n_splits += 1
+            for child in (below, above):
+                if child.is_empty() or not child.is_full_dimensional():
+                    continue
+                stack.append((child, working))
+
+        if not accepted_vertex_sets:
+            # Degenerate input (e.g. a region that is itself a sliver): fall
+            # back to the defining vertices of the input region.
+            accepted_vertex_sets.append(region.vertices)
+
+        vall = merge_vertex_sets(accepted_vertex_sets, tol=self.tol)
+        stats.n_vertices = int(vall.shape[0])
+        return vall
+
+    def describe(self) -> dict:
+        """Configuration summary used in experiment reports."""
+        return {
+            "name": self.name,
+            "use_lemma5": self.use_lemma5,
+            "use_lemma7": self.use_lemma7,
+            "strategy": self.strategy,
+        }

@@ -1,0 +1,191 @@
+"""Parallel TopRR solving (the paper's "explore parallelism" future work).
+
+Theorem 1 only needs the vertex set of *some* partitioning of ``wR`` into
+kIPRs — it does not care how that partitioning was obtained.  This makes the
+problem embarrassingly parallel: chop ``wR`` into disjoint boxes, run the
+test-and-split recursion on each box independently, take the union of the
+accumulated vertex sets, and intersect the impact halfspaces once at the end.
+The result is identical to the sequential answer (the chop boundaries simply
+become extra, redundant vertices in ``V_all``).
+
+:func:`solve_toprr_parallel` implements that scheme on top of
+``concurrent.futures``.  Because the per-piece work is dominated by numpy and
+scipy/qhull calls that release the GIL only partially, true speed-ups need
+the (default) process executor; the thread and serial executors exist for
+environments where spawning processes is undesirable and for testing.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.impact import build_impact_region
+from repro.core.stats import SolverStats
+from repro.core.tas_star import TASStarSolver
+from repro.core.toprr import TopRRResult
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.polytope import merge_vertex_sets
+from repro.preference.region import PreferenceRegion
+from repro.pruning.rskyband import r_skyband
+from repro.utils.timer import Timer
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+#: Executor labels accepted by :func:`solve_toprr_parallel`.
+EXECUTORS = ("process", "thread", "serial")
+
+
+def split_region_into_boxes(region: PreferenceRegion, n_pieces: int) -> List[PreferenceRegion]:
+    """Chop a preference region into ``n_pieces`` boxes along its widest axes.
+
+    The region is repeatedly halved along the axis with the largest vertex
+    extent until the requested number of pieces is reached (or pieces become
+    too thin to split further).  Pieces are full-fledged
+    :class:`PreferenceRegion` objects, so any solver can process them
+    independently.
+    """
+    if n_pieces <= 0:
+        raise InvalidParameterError(f"n_pieces must be positive, got {n_pieces}")
+    pieces = [region]
+    while len(pieces) < n_pieces:
+        # Split the piece with the largest extent to keep the pieces balanced.
+        extents = []
+        for piece in pieces:
+            vertices = piece.vertices
+            spans = vertices.max(axis=0) - vertices.min(axis=0)
+            extents.append((float(spans.max()), int(spans.argmax())))
+        widest = int(np.argmax([extent for extent, _axis in extents]))
+        span, axis = extents[widest]
+        if span <= 1e-9:
+            break
+        piece = pieces.pop(widest)
+        vertices = piece.vertices
+        midpoint = float((vertices[:, axis].min() + vertices[:, axis].max()) / 2.0)
+        normal = np.zeros(piece.dimension)
+        normal[axis] = 1.0
+        below, above = piece.split(Hyperplane(normal, midpoint))
+        for child in (below, above):
+            if not child.is_empty() and child.is_full_dimensional():
+                pieces.append(child)
+        if not pieces:
+            return [region]
+    return pieces
+
+
+def _partition_piece(
+    filtered: Dataset,
+    k: int,
+    piece: PreferenceRegion,
+    solver_kwargs: dict,
+) -> Tuple[np.ndarray, dict]:
+    """Worker: run TAS* on one piece and return its vertex set and counters.
+
+    Module-level so that it can be pickled by the process executor.
+    """
+    solver = TASStarSolver(**solver_kwargs)
+    stats = SolverStats()
+    vertices = solver.partition(filtered, k, piece, stats=stats)
+    return vertices, {
+        "n_regions_tested": stats.n_regions_tested,
+        "n_splits": stats.n_splits,
+        "n_vertices": stats.n_vertices,
+    }
+
+
+def solve_toprr_parallel(
+    dataset: Dataset,
+    k: int,
+    region: PreferenceRegion,
+    n_workers: int = 4,
+    n_pieces: Optional[int] = None,
+    executor: str = "process",
+    prefilter: bool = True,
+    clip_to_unit_box: bool = True,
+    rng: int = 0,
+    tol: Tolerance = DEFAULT_TOL,
+) -> TopRRResult:
+    """Solve a TopRR instance by partitioning ``wR`` across parallel workers.
+
+    Parameters
+    ----------
+    dataset, k, region:
+        The TopRR instance.
+    n_workers:
+        Number of worker processes/threads.
+    n_pieces:
+        Number of boxes ``wR`` is chopped into (defaults to ``2 * n_workers``
+        so that faster pieces can steal work from slower ones).
+    executor:
+        ``"process"`` (default, real parallelism), ``"thread"``, or
+        ``"serial"`` (in-process loop; useful for testing and debugging).
+    prefilter, clip_to_unit_box, rng, tol:
+        As in :func:`repro.core.toprr.solve_toprr`.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    if n_workers <= 0:
+        raise InvalidParameterError(f"n_workers must be positive, got {n_workers}")
+    if executor not in EXECUTORS:
+        raise InvalidParameterError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+    if region.n_attributes != dataset.n_attributes:
+        raise InvalidParameterError("region and dataset disagree on the number of attributes")
+
+    stats = SolverStats()
+    stats.n_input_options = dataset.n_options
+    timer = Timer().start()
+
+    if prefilter:
+        kept = r_skyband(dataset, k, region, tol=tol)
+        filtered = dataset.subset(kept, name=f"{dataset.name}[r-skyband]")
+    else:
+        filtered = dataset
+    stats.n_filtered_options = filtered.n_options
+
+    pieces = split_region_into_boxes(region, n_pieces or 2 * n_workers)
+    solver_kwargs = {"rng": rng, "tol": tol}
+
+    piece_outputs: List[Tuple[np.ndarray, dict]] = []
+    if executor == "serial" or len(pieces) == 1:
+        for piece in pieces:
+            piece_outputs.append(_partition_piece(filtered, k, piece, solver_kwargs))
+    else:
+        pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+        with pool_cls(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(_partition_piece, filtered, k, piece, solver_kwargs)
+                for piece in pieces
+            ]
+            piece_outputs = [future.result() for future in futures]
+
+    vertex_sets = [vertices for vertices, _counters in piece_outputs]
+    vall = merge_vertex_sets(vertex_sets, tol=tol)
+    for _vertices, counters in piece_outputs:
+        stats.n_regions_tested += counters["n_regions_tested"]
+        stats.n_splits += counters["n_splits"]
+
+    polytope, full_weights, thresholds = build_impact_region(
+        filtered, vall, k, clip_to_unit_box=clip_to_unit_box, tol=tol
+    )
+    stats.seconds = timer.stop()
+    stats.n_vertices = int(vall.shape[0])
+    stats.extra["n_pieces"] = len(pieces)
+    stats.extra["n_workers"] = int(n_workers)
+    stats.extra["executor"] = executor
+
+    return TopRRResult(
+        dataset=dataset,
+        filtered=filtered,
+        k=k,
+        region=region,
+        vertices_reduced=vall,
+        full_weights=full_weights,
+        thresholds=thresholds,
+        polytope=polytope,
+        stats=stats,
+        method=f"TAS* (parallel x{len(pieces)} pieces, {executor})",
+        tol=tol,
+    )

@@ -1,0 +1,149 @@
+"""Saving and loading TopRR results.
+
+A TopRR region is expensive to compute (seconds to minutes at paper scale)
+and cheap to describe: the vertices ``V_all`` with their thresholds fully
+determine the membership predicate, and the H-representation of ``oR`` adds
+the clipped polytope.  This module serialises exactly that, so a result can
+be computed once (e.g. in a batch job) and reused later by a pricing or
+design tool without re-running the solver.
+
+The format is a single JSON document (human-inspectable, dependency-free);
+arrays are stored as nested lists.  Loading reconstructs a fully functional
+:class:`~repro.core.toprr.TopRRResult` — membership tests, volume, and
+cost-optimal placement all work — except that the ``dataset``/``filtered``
+references are replaced by a lightweight stub carrying only the attribute
+schema (the original options are not embedded, by design; pass the dataset
+explicitly to :func:`load_result` when option-level reports are needed).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.stats import SolverStats
+from repro.core.toprr import TopRRResult
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.geometry.polytope import ConvexPolytope
+from repro.preference.region import PreferenceRegion
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+from repro.version import __version__
+
+#: Format identifier written into every file.
+FORMAT = "toprr-result"
+#: Current serialisation schema version.
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: TopRRResult) -> dict:
+    """Plain-dict (JSON-ready) representation of a TopRR result."""
+    A, b = result.polytope.halfspaces
+    region_A, region_b = result.region.polytope.halfspaces
+    return {
+        "format": FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "library_version": __version__,
+        "method": result.method,
+        "k": int(result.k),
+        "n_attributes": int(result.dataset.n_attributes),
+        "attribute_names": list(result.dataset.attribute_names),
+        "dataset_name": result.dataset.name,
+        "n_dataset_options": int(result.dataset.n_options),
+        "vertices_reduced": result.vertices_reduced.tolist(),
+        "full_weights": result.full_weights.tolist(),
+        "thresholds": result.thresholds.tolist(),
+        "option_region": {"A": A.tolist(), "b": b.tolist()},
+        "preference_region": {"A": region_A.tolist(), "b": region_b.tolist()},
+        "stats": result.stats.as_dict(),
+    }
+
+
+def save_result(result: TopRRResult, path: Union[str, Path]) -> Path:
+    """Write ``result`` to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(result_to_dict(result), handle, indent=2)
+    return path
+
+
+def _schema_stub(payload: dict) -> Dataset:
+    """A single-row placeholder dataset carrying only the attribute schema.
+
+    It exists so that the reconstructed result keeps the attribute names and
+    dimensionality; callers needing option-level reports should pass the real
+    dataset to :func:`load_result`.
+    """
+    d = int(payload["n_attributes"])
+    return Dataset(
+        np.zeros((1, d)),
+        attribute_names=payload.get("attribute_names"),
+        name=f"{payload.get('dataset_name', 'dataset')}[schema-only]",
+    )
+
+
+def result_from_dict(payload: dict, dataset: Optional[Dataset] = None, tol: Tolerance = DEFAULT_TOL) -> TopRRResult:
+    """Rebuild a :class:`TopRRResult` from its dictionary representation."""
+    if payload.get("format") != FORMAT:
+        raise InvalidParameterError("the document is not a serialised TopRR result")
+    if int(payload.get("schema_version", -1)) > SCHEMA_VERSION:
+        raise InvalidParameterError(
+            f"unsupported schema version {payload.get('schema_version')} "
+            f"(this library reads up to {SCHEMA_VERSION})"
+        )
+    if dataset is not None and dataset.n_attributes != int(payload["n_attributes"]):
+        raise InvalidParameterError("the provided dataset does not match the stored schema")
+
+    anchor = dataset if dataset is not None else _schema_stub(payload)
+    polytope = ConvexPolytope(
+        np.asarray(payload["option_region"]["A"], dtype=float),
+        np.asarray(payload["option_region"]["b"], dtype=float),
+        tol=tol,
+    )
+    region = PreferenceRegion(
+        ConvexPolytope(
+            np.asarray(payload["preference_region"]["A"], dtype=float),
+            np.asarray(payload["preference_region"]["b"], dtype=float),
+            tol=tol,
+        ),
+        n_attributes=int(payload["n_attributes"]),
+        tol=tol,
+    )
+    stats = SolverStats()
+    stats.extra.update(payload.get("stats", {}))
+
+    return TopRRResult(
+        dataset=anchor,
+        filtered=anchor,
+        k=int(payload["k"]),
+        region=region,
+        vertices_reduced=np.asarray(payload["vertices_reduced"], dtype=float),
+        full_weights=np.asarray(payload["full_weights"], dtype=float),
+        thresholds=np.asarray(payload["thresholds"], dtype=float),
+        polytope=polytope,
+        stats=stats,
+        method=str(payload.get("method", "loaded")),
+        tol=tol,
+    )
+
+
+def load_result(path: Union[str, Path], dataset: Optional[Dataset] = None, tol: Tolerance = DEFAULT_TOL) -> TopRRResult:
+    """Read a result previously written by :func:`save_result`.
+
+    Parameters
+    ----------
+    path:
+        JSON file produced by :func:`save_result`.
+    dataset:
+        The original dataset; optional.  When given, option-level reports
+        (e.g. :meth:`TopRRResult.existing_top_ranking_options`) work exactly
+        as on the freshly computed result.
+    """
+    path = Path(path)
+    with path.open() as handle:
+        payload = json.load(handle)
+    return result_from_dict(payload, dataset=dataset, tol=tol)

@@ -1,0 +1,270 @@
+"""Splitting-hyperplane selection and the split operation (Sections 4.2 and 5.3).
+
+When a preference region fails the kIPR test, it must be split by a
+hyperplane ``wHP(p_z1, p_z2)`` chosen from a pair of options responsible for
+the violation.  Two strategies are provided:
+
+* **random** (plain TAS, Section 4.2.1): any pair that witnesses the
+  violation — for Case 1 (different top-k sets at two vertices) an option
+  that is in one top-k set but not the other, paired with one in the
+  opposite situation; for Case 2 (same set, different k-th) the two k-th
+  options.
+* **k-switch** (TAS*, Definition 4): for Case 1, ``p_z1`` is the k-th option
+  at vertex ``v_a`` and ``p_z2`` is the option from ``v_b``'s top-k set that
+  scores *just below* ``p_z1`` at ``v_a`` while overtaking it at ``v_b``.
+  This tends to peel off an entire maximal kIPR on the ``v_a`` side, which
+  the paper shows reduces the number of splits by almost an order of
+  magnitude (Figure 14).
+
+The actual split is carried out by the geometry layer; this module adds the
+fallback used when a chosen hyperplane fails to produce two full-dimensional
+children (a numerically grazing cut): other violating pairs are tried and,
+as a last resort, the region is bisected along its widest axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kipr import VertexProfile, WorkingSet, find_kipr_violation
+from repro.geometry.hyperplane import Hyperplane
+from repro.preference.region import PreferenceRegion
+from repro.utils.rng import ensure_rng
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+#: Strategy labels accepted by :func:`select_splitting_pair`.
+STRATEGIES = ("random", "k-switch")
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """A chosen splitting pair and the resulting hyperplane in reduced space."""
+
+    option_a: int
+    option_b: int
+    hyperplane: Hyperplane
+    case: str
+
+
+def _scoring_hyperplane(working: WorkingSet, option_a: int, option_b: int) -> Hyperplane:
+    """The reduced-space hyperplane where options ``option_a`` and ``option_b`` tie."""
+    coeff = working.coefficients[option_a] - working.coefficients[option_b]
+    const = working.constants[option_a] - working.constants[option_b]
+    # S_w(a) - S_w(b) = coeff . w + const = 0
+    return Hyperplane(coeff, -const)
+
+
+def _case1_pairs(profile_a: VertexProfile, profile_b: VertexProfile) -> List[Tuple[int, int]]:
+    """All (p_z1, p_z2) pairs witnessing a Case 1 violation between two vertices."""
+    only_a = sorted(profile_a.top_set - profile_b.top_set)
+    only_b = sorted(profile_b.top_set - profile_a.top_set)
+    return [(pa, pb) for pa in only_a for pb in only_b]
+
+
+def _random_pair(
+    profile_a: VertexProfile,
+    profile_b: VertexProfile,
+    case: str,
+    rng: np.random.Generator,
+) -> Tuple[int, int]:
+    """The plain TAS choice: a random witnessing pair."""
+    if case == "kth":
+        return profile_a.kth, profile_b.kth
+    pairs = _case1_pairs(profile_a, profile_b)
+    if not pairs:
+        return profile_a.kth, profile_b.kth
+    return pairs[int(rng.integers(len(pairs)))]
+
+
+def _k_switch_pair(
+    working: WorkingSet,
+    profile_a: VertexProfile,
+    profile_b: VertexProfile,
+) -> Optional[Tuple[int, int]]:
+    """The k-switch choice of Definition 4 (Case 1 only).
+
+    Returns ``None`` when the candidate set ``LC`` is empty for both
+    orientations of the vertex pair, in which case the caller falls back to
+    the random strategy.
+    """
+    for first, second in ((profile_a, profile_b), (profile_b, profile_a)):
+        pz1 = first.kth
+        score_pz1_at_a = working.score_of(pz1, first.vertex)
+        score_pz1_at_b = working.score_of(pz1, second.vertex)
+        candidates = []
+        for candidate in second.top_set:
+            if candidate == pz1:
+                continue
+            score_at_a = working.score_of(candidate, first.vertex)
+            score_at_b = working.score_of(candidate, second.vertex)
+            if score_at_a < score_pz1_at_a and score_at_b > score_pz1_at_b:
+                candidates.append((abs(score_pz1_at_a - score_at_a), candidate))
+        if candidates:
+            candidates.sort()
+            return pz1, candidates[0][1]
+    return None
+
+
+def select_splitting_pair(
+    working: WorkingSet,
+    profile_a: VertexProfile,
+    profile_b: VertexProfile,
+    case: str,
+    strategy: str = "k-switch",
+    rng: Optional[np.random.Generator] = None,
+) -> SplitDecision:
+    """Choose the splitting pair for a violating vertex pair.
+
+    Parameters
+    ----------
+    working:
+        Current working set (provides scores for the k-switch ranking).
+    profile_a, profile_b:
+        Vertex profiles of the violating pair ``(v_a, v_b)``.
+    case:
+        ``"set"`` for Case 1 (different top-k sets) or ``"kth"`` for Case 2.
+    strategy:
+        ``"random"`` (plain TAS) or ``"k-switch"`` (TAS*).
+    """
+    rng = ensure_rng(rng)
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown splitting strategy {strategy!r}; expected one of {STRATEGIES}")
+    if case == "kth" or strategy == "random":
+        option_a, option_b = _random_pair(profile_a, profile_b, case, rng)
+    else:
+        pair = _k_switch_pair(working, profile_a, profile_b)
+        if pair is None:
+            option_a, option_b = _random_pair(profile_a, profile_b, case, rng)
+        else:
+            option_a, option_b = pair
+    hyperplane = _scoring_hyperplane(working, option_a, option_b)
+    return SplitDecision(option_a=option_a, option_b=option_b, hyperplane=hyperplane, case=case)
+
+
+def _has_strict_swap(
+    working: WorkingSet,
+    profiles: Sequence[VertexProfile],
+    option_a: int,
+    option_b: int,
+    tol: Tolerance,
+) -> bool:
+    """True if the score order of the pair strictly changes across the region vertices.
+
+    A strict swap (``a`` beats ``b`` beyond tolerance at one vertex, loses
+    beyond tolerance at another) guarantees — by linearity of the score
+    difference — that the hyperplane ``wHP(a, b)`` crosses the region's
+    interior, so splitting on it makes real progress.  Pairs without a strict
+    swap only tie on the region boundary and cannot cut the interior.
+    """
+    diff_coeff = working.coefficients[option_a] - working.coefficients[option_b]
+    diff_const = working.constants[option_a] - working.constants[option_b]
+    saw_positive = False
+    saw_negative = False
+    for profile in profiles:
+        value = float(diff_coeff @ profile.vertex + diff_const)
+        if value > tol.score:
+            saw_positive = True
+        elif value < -tol.score:
+            saw_negative = True
+        if saw_positive and saw_negative:
+            return True
+    return False
+
+
+def find_swap_candidates(
+    working: WorkingSet,
+    profiles: Sequence[VertexProfile],
+    tol: Tolerance,
+    max_candidates: int = 256,
+) -> List[SplitDecision]:
+    """All option pairs from the vertices' top-k sets whose order strictly swaps.
+
+    The candidate pool is the union of the top-k sets over the region's
+    vertices: any change of the top-k set or of the k-th option inside the
+    region is caused by an order swap between two of these options (an
+    outside option overtaking a member of the pool would put it in the pool
+    at the vertex where the swap is maximal).  If this list is empty, every
+    witnessed violation is a boundary tie and the region's interior is
+    rank-invariant, so the caller may accept the region without splitting.
+    """
+    pool = sorted(set().union(*(p.top_set for p in profiles)))
+    decisions: List[SplitDecision] = []
+    for i, option_a in enumerate(pool):
+        for option_b in pool[i + 1 :]:
+            if _has_strict_swap(working, profiles, option_a, option_b, tol):
+                decisions.append(
+                    SplitDecision(
+                        option_a=option_a,
+                        option_b=option_b,
+                        hyperplane=_scoring_hyperplane(working, option_a, option_b),
+                        case="swap",
+                    )
+                )
+                if len(decisions) >= max_candidates:
+                    return decisions
+    return decisions
+
+
+def region_is_rank_invariant(
+    working: WorkingSet,
+    profiles: Sequence[VertexProfile],
+    tol: Tolerance = DEFAULT_TOL,
+) -> bool:
+    """True if the score order of all relevant options is constant inside the region.
+
+    A region is rank-invariant when it either passes the exact kIPR test, or
+    every kIPR violation witnessed at its vertices is caused by score ties
+    within tolerance (no candidate pair strictly swaps, so by linearity the
+    pair stays tied throughout the region).  This is the acceptance condition
+    the test-and-split engines and the UTK partitioner actually guarantee for
+    their output cells, and the property the correctness tests should check.
+    """
+    if find_kipr_violation(profiles) is None:
+        return True
+    return not find_swap_candidates(working, profiles, tol, max_candidates=1)
+
+
+def split_region(
+    region: PreferenceRegion,
+    working: WorkingSet,
+    profiles: Sequence[VertexProfile],
+    violation: Tuple[int, int, str],
+    strategy: str = "k-switch",
+    rng: Optional[np.random.Generator] = None,
+    tol: Tolerance = DEFAULT_TOL,
+) -> Tuple[Optional[PreferenceRegion], Optional[PreferenceRegion], SplitDecision, bool]:
+    """Split ``region`` according to a kIPR violation.
+
+    Returns ``(below, above, decision, cut_found)``.  The splitting
+    hyperplane is chosen by the configured strategy (Section 4.2.1 /
+    Definition 4) provided the chosen pair's order strictly swaps inside the
+    region; otherwise the first pair with a strict swap is used.  When no
+    pair of candidate options swaps strictly — every witnessed violation is a
+    score tie on the region boundary — ``cut_found`` is False and both
+    children are ``None``: the region's interior is rank-invariant and the
+    caller should accept it without splitting.
+    """
+    rng = ensure_rng(rng)
+    index_a, index_b, case = violation
+    profile_a, profile_b = profiles[index_a], profiles[index_b]
+
+    primary = select_splitting_pair(working, profile_a, profile_b, case, strategy, rng)
+    candidates: List[SplitDecision] = []
+    if _has_strict_swap(working, profiles, primary.option_a, primary.option_b, tol):
+        candidates.append(primary)
+    candidates.extend(find_swap_candidates(working, profiles, tol))
+
+    attempted: set[tuple[int, int]] = set()
+    for candidate in candidates:
+        key = (min(candidate.option_a, candidate.option_b), max(candidate.option_a, candidate.option_b))
+        if key in attempted:
+            continue
+        attempted.add(key)
+        below, above = region.split(candidate.hyperplane)
+        if below.is_full_dimensional() and above.is_full_dimensional():
+            return below, above, candidate, True
+
+    return None, None, primary, False

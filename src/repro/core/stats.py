@@ -1,0 +1,82 @@
+"""Counters collected while solving a TopRR instance.
+
+The paper's ablation experiments (Figures 12-14) report internal quantities
+rather than just wall-clock time: the number of options surviving the
+filters, the number of vertices accumulated in ``V_all``, and the number of
+splits performed.  :class:`SolverStats` gathers all of them in one place so
+that every solver (PAC, TAS, TAS*) exposes the same bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SolverStats:
+    """Bookkeeping for one TopRR run.
+
+    Attributes
+    ----------
+    n_input_options:
+        Options in the original dataset ``D``.
+    n_filtered_options:
+        Options in ``D'`` after the r-skyband pre-filter.
+    n_after_lemma5:
+        Options still under consideration after the initial consistent
+        top-λ pruning (TAS* only; equals ``n_filtered_options`` otherwise).
+    k_effective:
+        The value of ``k`` after the initial Lemma 5 reduction.
+    n_regions_tested:
+        Regions popped from the work list (root + all children).
+    n_kipr_regions:
+        Regions accepted because they passed the plain kIPR test (Lemma 3).
+    n_lemma7_regions:
+        Regions accepted by the optimized test (Lemma 7) despite not being kIPR.
+    n_splits:
+        Split operations performed.
+    n_fallback_splits:
+        Splits that had to fall back to an axis bisection because no
+        violating-pair hyperplane produced two full-dimensional children.
+    n_lemma5_reductions:
+        Number of recursive calls in which Lemma 5 removed at least one option.
+    n_vertices:
+        Final size of ``V_all``.
+    seconds:
+        Wall-clock time of the solve (filtering included unless noted).
+    extra:
+        Free-form dictionary for experiment-specific counters.
+    """
+
+    n_input_options: int = 0
+    n_filtered_options: int = 0
+    n_after_lemma5: int = 0
+    k_effective: int = 0
+    n_regions_tested: int = 0
+    n_kipr_regions: int = 0
+    n_lemma7_regions: int = 0
+    n_splits: int = 0
+    n_fallback_splits: int = 0
+    n_lemma5_reductions: int = 0
+    n_vertices: int = 0
+    seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the experiment reports."""
+        data = {
+            "n_input_options": self.n_input_options,
+            "n_filtered_options": self.n_filtered_options,
+            "n_after_lemma5": self.n_after_lemma5,
+            "k_effective": self.k_effective,
+            "n_regions_tested": self.n_regions_tested,
+            "n_kipr_regions": self.n_kipr_regions,
+            "n_lemma7_regions": self.n_lemma7_regions,
+            "n_splits": self.n_splits,
+            "n_fallback_splits": self.n_fallback_splits,
+            "n_lemma5_reductions": self.n_lemma5_reductions,
+            "n_vertices": self.n_vertices,
+            "seconds": self.seconds,
+        }
+        data.update(self.extra)
+        return data

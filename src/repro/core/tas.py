@@ -1,0 +1,41 @@
+"""TAS — the Test-and-Split algorithm (Algorithm 1, Section 4).
+
+TAS recursively tests whether a preference region is a kIPR (Lemma 3) and,
+if not, splits it by the hyperplane of a randomly chosen violating option
+pair.  No further optimization is applied; the optimized variant lives in
+:mod:`repro.core.tas_star`.
+"""
+
+from __future__ import annotations
+
+from repro.core.base_solver import BaseTestAndSplit
+from repro.utils.rng import RngLike
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+
+class TASSolver(BaseTestAndSplit):
+    """The plain test-and-split solver of Section 4.
+
+    Examples
+    --------
+    >>> from repro.core.tas import TASSolver
+    >>> TASSolver().describe()["strategy"]
+    'random'
+    """
+
+    name = "TAS"
+
+    def __init__(
+        self,
+        rng: RngLike = 0,
+        max_regions: int = 500_000,
+        tol: Tolerance = DEFAULT_TOL,
+    ):
+        super().__init__(
+            use_lemma5=False,
+            use_lemma7=False,
+            strategy="random",
+            rng=rng,
+            max_regions=max_regions,
+            tol=tol,
+        )

@@ -1,0 +1,262 @@
+"""The user-facing TopRR front end.
+
+:func:`solve_toprr` wires together the full pipeline of the paper:
+
+1. pre-filter the dataset with the r-skyband (Section 6.3 — the filter the
+   paper selects for all methods),
+2. partition the preference region with the chosen solver (PAC, TAS or TAS*)
+   to obtain the vertex set ``V_all``,
+3. apply Theorem 1: intersect the impact halfspaces of the vertices in
+   ``V_all`` (clipped to the option-space box) to obtain the output region
+   ``oR``.
+
+The result object :class:`TopRRResult` exposes the region both as a polytope
+and through a fast membership predicate, together with all the bookkeeping
+the experiment harness needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.impact import build_impact_region, is_top_ranking
+from repro.core.pac import PACSolver
+from repro.core.stats import SolverStats
+from repro.core.tas import TASSolver
+from repro.core.tas_star import TASStarSolver
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.geometry.polytope import ConvexPolytope
+from repro.preference.region import PreferenceRegion
+from repro.pruning.rskyband import r_skyband
+from repro.utils.rng import RngLike
+from repro.utils.timer import Timer
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+#: Method labels accepted by :func:`solve_toprr`.
+METHODS = ("tas*", "tas", "pac")
+
+SolverLike = Union[str, TASSolver, TASStarSolver, PACSolver]
+
+
+class TopRRResult:
+    """The answer to a TopRR query.
+
+    Attributes
+    ----------
+    dataset:
+        The original dataset ``D``.
+    filtered:
+        The r-skyband subset ``D'`` actually processed.
+    k:
+        The query parameter.
+    region:
+        The preference region ``wR``.
+    vertices_reduced:
+        ``V_all`` in reduced preference coordinates, shape ``(m, d-1)``.
+    full_weights:
+        ``V_all`` lifted to full weight vectors, shape ``(m, d)``.
+    thresholds:
+        ``TopK(v)`` for every vertex of ``V_all``.
+    polytope:
+        The output region ``oR`` (clipped to the option-space box).
+    stats:
+        Solver bookkeeping (splits, vertices, timings, ...).
+    method:
+        Name of the solver that produced the result.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        filtered: Dataset,
+        k: int,
+        region: PreferenceRegion,
+        vertices_reduced: np.ndarray,
+        full_weights: np.ndarray,
+        thresholds: np.ndarray,
+        polytope: ConvexPolytope,
+        stats: SolverStats,
+        method: str,
+        tol: Tolerance = DEFAULT_TOL,
+    ):
+        self.dataset = dataset
+        self.filtered = filtered
+        self.k = int(k)
+        self.region = region
+        self.vertices_reduced = vertices_reduced
+        self.full_weights = full_weights
+        self.thresholds = thresholds
+        self.polytope = polytope
+        self.stats = stats
+        self.method = method
+        self._tol = tol
+
+    # ------------------------------------------------------------------ #
+    # membership and geometry
+    # ------------------------------------------------------------------ #
+    def contains(self, option: Sequence[float]) -> bool:
+        """True if placing a new option at ``option`` makes it top-ranking for ``wR``.
+
+        The test is performed directly against the impact halfspaces (score
+        at every vertex of ``V_all`` at least the vertex's threshold); the
+        option-space box is *not* enforced here, mirroring the paper's remark
+        that domain constraints are applied after ``oR`` computation.
+        """
+        return is_top_ranking(option, self.full_weights, self.thresholds, tol=self._tol)
+
+    def contains_many(self, options: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` for an ``(n, d)`` array of candidate options."""
+        options = np.asarray(options, dtype=float)
+        scores = options @ self.full_weights.T
+        return np.all(scores >= self.thresholds[None, :] - self._tol.score, axis=1)
+
+    @property
+    def n_vertices(self) -> int:
+        """Size of ``V_all``."""
+        return int(self.vertices_reduced.shape[0])
+
+    @property
+    def option_region_vertices(self) -> np.ndarray:
+        """Vertices of the output polytope ``oR`` (clipped to the option box)."""
+        return self.polytope.vertices
+
+    def volume(self) -> float:
+        """Volume of ``oR`` within the option-space box."""
+        return self.polytope.volume()
+
+    def is_empty(self) -> bool:
+        """True when no placement inside the option-space box is top-ranking."""
+        return self.polytope.is_empty()
+
+    def existing_top_ranking_options(self) -> np.ndarray:
+        """Positional indices of *existing* options that are already top-ranking for ``wR``."""
+        mask = self.contains_many(self.dataset.values)
+        return np.flatnonzero(mask)
+
+    def summary(self) -> dict:
+        """Compact dictionary used by the CLI and the experiment reports."""
+        return {
+            "method": self.method,
+            "k": self.k,
+            "n_options": self.dataset.n_options,
+            "n_filtered": self.filtered.n_options,
+            "n_vertices": self.n_vertices,
+            "volume": self.volume(),
+            "seconds": self.stats.seconds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TopRRResult(method={self.method!r}, k={self.k}, "
+            f"|V_all|={self.n_vertices}, |D'|={self.filtered.n_options})"
+        )
+
+
+def make_solver(method: SolverLike, rng: RngLike = 0, tol: Tolerance = DEFAULT_TOL):
+    """Instantiate a solver from a method label, or pass an existing solver through."""
+    if not isinstance(method, str):
+        return method
+    label = method.lower().replace("_", "-")
+    if label in ("tas*", "tas-star", "tasstar"):
+        return TASStarSolver(rng=rng, tol=tol)
+    if label == "tas":
+        return TASSolver(rng=rng, tol=tol)
+    if label == "pac":
+        return PACSolver(rng=rng, tol=tol)
+    raise InvalidParameterError(f"unknown TopRR method {method!r}; expected one of {METHODS}")
+
+
+def solve_toprr(
+    dataset: Dataset,
+    k: int,
+    region: PreferenceRegion,
+    method: SolverLike = "tas*",
+    prefilter: bool = True,
+    clip_to_unit_box: bool = True,
+    option_bounds: Optional[tuple] = None,
+    rng: RngLike = 0,
+    tol: Tolerance = DEFAULT_TOL,
+) -> TopRRResult:
+    """Solve a TopRR instance end to end.
+
+    Parameters
+    ----------
+    dataset:
+        The option dataset ``D``.
+    k:
+        Rank requirement: the new option must be in the top-k for every
+        weight vector in ``region``.
+    region:
+        The target preference region ``wR`` (a convex polytope in the reduced
+        preference space).
+    method:
+        ``"tas*"`` (default), ``"tas"``, ``"pac"``, or an already configured
+        solver instance.
+    prefilter:
+        Apply the r-skyband pre-filter first (recommended; disabling it is
+        only useful for measuring the filters themselves).
+    clip_to_unit_box:
+        Clip ``oR`` to the unit option-space box ``[0, 1]^d``.
+    option_bounds:
+        Optional ``(lower, upper)`` arrays overriding the option-space box.
+    rng:
+        Seed or generator for the solver's randomised choices.
+    tol:
+        Numerical tolerance bundle.
+
+    Returns
+    -------
+    :class:`TopRRResult`
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    if k > dataset.n_options:
+        raise InvalidParameterError(
+            f"k={k} exceeds the dataset size {dataset.n_options}; every placement would qualify"
+        )
+    if region.n_attributes != dataset.n_attributes:
+        raise InvalidParameterError(
+            f"region is defined for {region.n_attributes}-attribute options but the dataset "
+            f"has {dataset.n_attributes} attributes"
+        )
+
+    solver = make_solver(method, rng=rng, tol=tol)
+    stats = SolverStats()
+    stats.n_input_options = dataset.n_options
+
+    timer = Timer().start()
+    if prefilter:
+        kept = r_skyband(dataset, k, region, tol=tol)
+        filtered = dataset.subset(kept, name=f"{dataset.name}[r-skyband]")
+    else:
+        filtered = dataset
+    stats.n_filtered_options = filtered.n_options
+
+    vall = solver.partition(filtered, k, region, stats=stats)
+    polytope, full_weights, thresholds = build_impact_region(
+        filtered,
+        vall,
+        k,
+        clip_to_unit_box=clip_to_unit_box,
+        bounds=option_bounds,
+        tol=tol,
+    )
+    stats.seconds = timer.stop()
+    stats.n_after_lemma5 = stats.n_after_lemma5 or filtered.n_options
+
+    return TopRRResult(
+        dataset=dataset,
+        filtered=filtered,
+        k=k,
+        region=region,
+        vertices_reduced=vall,
+        full_weights=full_weights,
+        thresholds=thresholds,
+        polytope=polytope,
+        stats=stats,
+        method=getattr(solver, "name", str(method)),
+        tol=tol,
+    )

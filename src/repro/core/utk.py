@@ -1,0 +1,207 @@
+"""Anchor-based UTK partitioner (re-implementation of Mouratidis & Tang [30]).
+
+The *uncertain top-k* (UTK) problem computes, for a preference region
+``wR``, every possible top-k set together with the sub-region of ``wR`` in
+which it applies.  The original algorithm recursively picks an *anchor*
+option, inserts the hyperplanes between the anchor and the options whose
+order against it changes inside the region, and stops refining a cell once
+the anchor has rank exactly k everywhere in it — at which point the cell is
+a (generally non-maximal) kIPR.
+
+This module re-implements that anchor-driven recursion.  It serves two
+purposes in the reproduction:
+
+* it is the building block of the PAC baseline of Section 3.4
+  (partition-and-convert), and
+* it yields the exact ``UTK`` pre-filter of Section 6.3 / Figure 8 — the set
+  of options that appear in *some* top-k result inside ``wR`` is the union
+  of the top-k sets over all cells.
+
+Because every split involves the anchor (rather than the k-switch pair of
+TAS*), the recursion produces many more cells than TAS/TAS*, which is
+exactly the behaviour the paper exploits to show PAC's inferiority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.kipr import (
+    VertexProfile,
+    WorkingSet,
+    find_kipr_violation,
+    region_profiles,
+    vertex_profile,
+)
+from repro.core.splitting import split_region
+from repro.core.stats import SolverStats
+from repro.data.dataset import Dataset
+from repro.exceptions import DegeneratePolytopeError, EmptyRegionError, InvalidParameterError
+from repro.geometry.hyperplane import Hyperplane
+from repro.preference.region import PreferenceRegion
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+
+@dataclass(frozen=True)
+class UTKCell:
+    """One cell of the UTK partitioning.
+
+    The cell's interior is rank-invariant (a kIPR up to score ties on its
+    boundary facets); ``top_set`` and ``kth`` describe the top-k result that
+    holds throughout that interior, evaluated at an interior point so that
+    boundary-tie artifacts at the defining vertices cannot leak into the
+    annotation.
+    """
+
+    region: PreferenceRegion
+    top_set: frozenset
+    kth: int
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Defining vertices of the cell in reduced preference coordinates."""
+        return self.region.vertices
+
+
+class UTKPartitioner:
+    """Recursive anchor-based partitioning of a preference region into kIPR cells."""
+
+    def __init__(
+        self,
+        rng: RngLike = 0,
+        max_regions: int = 500_000,
+        tol: Tolerance = DEFAULT_TOL,
+    ):
+        self._rng = ensure_rng(rng)
+        self.max_regions = int(max_regions)
+        self.tol = tol
+
+    # ------------------------------------------------------------------ #
+    def _anchor_hyperplane(
+        self,
+        working: WorkingSet,
+        profiles: List[VertexProfile],
+    ) -> Optional[Hyperplane]:
+        """Splitting hyperplane between the anchor and an order-changing option.
+
+        The anchor is the k-th option at the first vertex.  Among the options
+        appearing in any vertex's top-k set, the first whose score order
+        against the anchor differs between two vertices provides the
+        splitting hyperplane (its sign change guarantees a proper cut).
+        """
+        anchor = profiles[0].kth
+        candidates = sorted(set().union(*(p.top_set for p in profiles)) - {anchor})
+        vertices = [p.vertex for p in profiles]
+        anchor_scores = np.array([working.score_of(anchor, v) for v in vertices])
+        for candidate in candidates:
+            candidate_scores = np.array([working.score_of(candidate, v) for v in vertices])
+            diff = anchor_scores - candidate_scores
+            if np.any(diff > self.tol.score) and np.any(diff < -self.tol.score):
+                coeff = working.coefficients[anchor] - working.coefficients[candidate]
+                const = working.constants[anchor] - working.constants[candidate]
+                return Hyperplane(coeff, -const)
+        return None
+
+    @staticmethod
+    def _annotate(working: WorkingSet, region: PreferenceRegion) -> UTKCell:
+        """Build a cell annotated with the top-k result at an interior point.
+
+        The centroid of the defining vertices is strictly interior for a
+        full-dimensional cell, so its top-k result is free of the boundary
+        score ties that can occur at vertices lying exactly on a splitting
+        hyperplane.
+        """
+        interior = vertex_profile(working, region.centroid())
+        return UTKCell(region=region, top_set=interior.top_set, kth=interior.kth)
+
+    # ------------------------------------------------------------------ #
+    def partition(
+        self,
+        filtered: Dataset,
+        k: int,
+        region: PreferenceRegion,
+        stats: Optional[SolverStats] = None,
+    ) -> List[UTKCell]:
+        """Partition ``region`` into kIPR cells, each annotated with its top-k set."""
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        stats = stats if stats is not None else SolverStats()
+        working = WorkingSet.from_dataset(filtered, k)
+        stats.k_effective = working.k
+
+        cells: List[UTKCell] = []
+        stack: List[PreferenceRegion] = [region]
+
+        while stack:
+            if stats.n_regions_tested >= self.max_regions:
+                raise RuntimeError(
+                    f"UTK: exceeded the safety cap of {self.max_regions} regions"
+                )
+            current = stack.pop()
+            stats.n_regions_tested += 1
+            try:
+                vertices = current.vertices
+            except (DegeneratePolytopeError, EmptyRegionError):
+                continue
+            if vertices.shape[0] == 0:
+                continue
+
+            profiles = region_profiles(working, current)
+            violation = find_kipr_violation(profiles)
+            if violation is None:
+                stats.n_kipr_regions += 1
+                cells.append(self._annotate(working, current))
+                continue
+
+            children: Optional[Tuple[PreferenceRegion, PreferenceRegion]] = None
+            hyperplane = self._anchor_hyperplane(working, profiles)
+            if hyperplane is not None:
+                below, above = current.split(hyperplane)
+                if below.is_full_dimensional() and above.is_full_dimensional():
+                    children = (below, above)
+            if children is None:
+                below, above, _decision, cut_found = split_region(
+                    current,
+                    working,
+                    profiles,
+                    violation,
+                    strategy="random",
+                    rng=self._rng,
+                    tol=self.tol,
+                )
+                if not cut_found:
+                    # The violation is a boundary tie: the interior is
+                    # rank-invariant, so close the cell here.
+                    stats.n_fallback_splits += 1
+                    stats.n_kipr_regions += 1
+                    cells.append(self._annotate(working, current))
+                    continue
+                children = (below, above)
+
+            stats.n_splits += 1
+            for child in children:
+                if child.is_empty() or not child.is_full_dimensional():
+                    continue
+                stack.append(child)
+
+        stats.extra["n_cells"] = len(cells)
+        return cells
+
+
+def possible_top_k_options(
+    filtered: Dataset,
+    k: int,
+    region: PreferenceRegion,
+    rng: RngLike = 0,
+    tol: Tolerance = DEFAULT_TOL,
+) -> np.ndarray:
+    """Positional indices (into ``filtered``) of options in some top-k result inside ``region``."""
+    cells = UTKPartitioner(rng=rng, tol=tol).partition(filtered, k, region)
+    union: set[int] = set()
+    for cell in cells:
+        union.update(int(i) for i in cell.top_set)
+    return np.array(sorted(union), dtype=int)

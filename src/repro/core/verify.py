@@ -1,0 +1,119 @@
+"""Sampling-based verification of TopRR results.
+
+The exact algorithms are cross-checked in two independent ways:
+
+* **agreement** — PAC, TAS and TAS* must produce the same region (verified in
+  the test suite by mutual containment of vertices and by identical
+  membership decisions on random probes);
+* **semantics** — this module checks the defining property of ``oR`` by
+  sampling: a candidate option *inside* the region must be among the top-k
+  of the dataset for every sampled weight vector of ``wR``, and a candidate
+  *outside* the region must be outside at least one impact halfspace (so
+  there exists a weight vector — one of the vertices of ``V_all`` — for
+  which it misses the top-k).
+
+The verifier never proves correctness by itself, but together with the
+property-based tests it gives strong evidence that the geometric pipeline
+(splitting, vertex enumeration, threshold computation) is sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.toprr import TopRRResult
+from repro.topk.query import rank_of
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of a sampling verification run."""
+
+    n_weight_samples: int
+    n_option_samples: int
+    n_inside_checked: int
+    n_inside_failures: int
+    n_outside_checked: int
+    n_outside_failures: int
+
+    @property
+    def passed(self) -> bool:
+        """True when no sampled counter-example was found."""
+        return self.n_inside_failures == 0 and self.n_outside_failures == 0
+
+
+def verify_result_by_sampling(
+    result: TopRRResult,
+    n_weight_samples: int = 64,
+    n_option_samples: int = 256,
+    rng: RngLike = 0,
+    tol: Tolerance = DEFAULT_TOL,
+    margin: float = 1e-7,
+) -> VerificationReport:
+    """Probe a :class:`TopRRResult` with random weights and random candidate options.
+
+    Parameters
+    ----------
+    result:
+        The result to verify.
+    n_weight_samples:
+        Number of weight vectors sampled inside ``wR`` (the region vertices
+        are always included as well).
+    n_option_samples:
+        Number of candidate options sampled in the option-space box.
+    margin:
+        Candidates closer than this to the region boundary are skipped, so
+        that floating-point ties do not produce spurious failures.
+    """
+    rng = ensure_rng(rng)
+    dataset = result.dataset
+    d = dataset.n_attributes
+    space = result.region.space
+
+    reduced_samples = result.region.sample_weights(n_weight_samples, rng)
+    reduced_samples = np.vstack([reduced_samples, result.region.vertices])
+    full_weights = space.to_full_many(reduced_samples)
+
+    candidates = rng.random((n_option_samples, d))
+    # Always probe the extremes of the option box and the dataset's own options.
+    candidates = np.vstack([candidates, np.ones((1, d)), dataset.values[: min(64, len(dataset))]])
+
+    scores_at_vall = candidates @ result.full_weights.T
+    slack = scores_at_vall - result.thresholds[None, :]
+    inside_mask = np.all(slack >= margin, axis=1)
+    outside_mask = np.any(slack <= -margin, axis=1)
+
+    n_inside_failures = 0
+    n_inside_checked = 0
+    for candidate in candidates[inside_mask]:
+        n_inside_checked += 1
+        for weight in full_weights:
+            if rank_of(dataset, weight, candidate) > result.k:
+                n_inside_failures += 1
+                break
+
+    n_outside_failures = 0
+    n_outside_checked = 0
+    for candidate in candidates[outside_mask]:
+        n_outside_checked += 1
+        # Being outside some impact halfspace means there is a vertex of V_all
+        # where the candidate scores strictly below the k-th option, i.e. a
+        # weight vector in wR for which it is not top-k.
+        vertex_index = int(np.argmin(slack[outside_mask][n_outside_checked - 1]))
+        weight = result.full_weights[vertex_index]
+        if rank_of(dataset, weight, candidate) <= result.k:
+            n_outside_failures += 1
+
+    return VerificationReport(
+        n_weight_samples=int(full_weights.shape[0]),
+        n_option_samples=int(candidates.shape[0]),
+        n_inside_checked=n_inside_checked,
+        n_inside_failures=n_inside_failures,
+        n_outside_checked=n_outside_checked,
+        n_outside_failures=n_outside_failures,
+    )

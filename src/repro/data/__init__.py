@@ -1,0 +1,30 @@
+"""Dataset substrate: containers, benchmark generators, surrogate real datasets and I/O."""
+
+from repro.data.dataset import Dataset
+from repro.data.generators import (
+    generate_anticorrelated,
+    generate_correlated,
+    generate_independent,
+    generate_synthetic,
+)
+from repro.data.examples import figure1_dataset, table2_dataset
+from repro.data.surrogates import (
+    cnet_laptops,
+    hotel_surrogate,
+    house_surrogate,
+    nba_surrogate,
+)
+
+__all__ = [
+    "Dataset",
+    "generate_independent",
+    "generate_correlated",
+    "generate_anticorrelated",
+    "generate_synthetic",
+    "figure1_dataset",
+    "table2_dataset",
+    "cnet_laptops",
+    "hotel_surrogate",
+    "house_surrogate",
+    "nba_surrogate",
+]

@@ -1,0 +1,178 @@
+"""The :class:`Dataset` container used throughout the package.
+
+A dataset is an ``(n, d)`` matrix of options; every attribute is assumed to
+be "larger is better" and (by convention, as in the paper) normalised to the
+unit interval.  The container adds named attributes, named options, basic
+statistics, subsetting that preserves original option identifiers, and score
+computation — everything downstream code needs without reaching into raw
+numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+
+
+class Dataset:
+    """An in-memory option dataset.
+
+    Parameters
+    ----------
+    values:
+        ``(n, d)`` array-like of attribute values.
+    attribute_names:
+        Optional names for the ``d`` attributes (defaults to ``attr_0 ...``).
+    option_ids:
+        Optional identifiers for the ``n`` options.  Subsets created with
+        :meth:`subset` keep the identifiers of the parent dataset so that
+        results can always be reported in terms of the original options.
+    name:
+        Human-readable dataset name used in experiment reports.
+    """
+
+    def __init__(
+        self,
+        values,
+        attribute_names: Optional[Sequence[str]] = None,
+        option_ids: Optional[Sequence] = None,
+        name: str = "dataset",
+    ):
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise DimensionMismatchError(
+                f"dataset values must be a 2-D matrix, got shape {values.shape}"
+            )
+        if values.shape[0] == 0 or values.shape[1] == 0:
+            raise InvalidParameterError("dataset must contain at least one option and one attribute")
+        if not np.all(np.isfinite(values)):
+            raise InvalidParameterError("dataset contains non-finite attribute values")
+        self._values = values
+        self.name = name
+
+        if attribute_names is None:
+            attribute_names = [f"attr_{j}" for j in range(values.shape[1])]
+        attribute_names = list(attribute_names)
+        if len(attribute_names) != values.shape[1]:
+            raise DimensionMismatchError("one attribute name per column is required")
+        self.attribute_names: List[str] = attribute_names
+
+        if option_ids is None:
+            option_ids = list(range(values.shape[0]))
+        option_ids = list(option_ids)
+        if len(option_ids) != values.shape[0]:
+            raise DimensionMismatchError("one option id per row is required")
+        self.option_ids: List = option_ids
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying ``(n, d)`` value matrix (not a copy; treat as read-only)."""
+        return self._values
+
+    @property
+    def n_options(self) -> int:
+        """Number of options ``n``."""
+        return self._values.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes ``d``."""
+        return self._values.shape[1]
+
+    def __len__(self) -> int:
+        return self.n_options
+
+    def option(self, index: int) -> np.ndarray:
+        """The attribute vector of the option at positional ``index``."""
+        return self._values[index]
+
+    def id_of(self, index: int):
+        """Original identifier of the option at positional ``index``."""
+        return self.option_ids[index]
+
+    def index_of(self, option_id) -> int:
+        """Positional index of the option with original identifier ``option_id``."""
+        return self.option_ids.index(option_id)
+
+    # ------------------------------------------------------------------ #
+    # derived datasets
+    # ------------------------------------------------------------------ #
+    def subset(self, indices: Iterable[int], name: Optional[str] = None) -> "Dataset":
+        """A new dataset containing only the options at ``indices``.
+
+        The subset keeps the parent's attribute names and the original option
+        identifiers of the selected rows.
+        """
+        idx = np.asarray(list(indices), dtype=int)
+        return Dataset(
+            self._values[idx],
+            attribute_names=self.attribute_names,
+            option_ids=[self.option_ids[i] for i in idx],
+            name=name or f"{self.name}[subset:{idx.size}]",
+        )
+
+    def without(self, indices: Iterable[int], name: Optional[str] = None) -> "Dataset":
+        """A new dataset with the options at ``indices`` removed."""
+        drop = set(int(i) for i in indices)
+        keep = [i for i in range(self.n_options) if i not in drop]
+        return self.subset(keep, name=name or f"{self.name}[minus:{len(drop)}]")
+
+    def normalized(self, name: Optional[str] = None) -> "Dataset":
+        """Min-max normalise every attribute to [0, 1] (constant columns map to 0.5)."""
+        lo = self._values.min(axis=0)
+        hi = self._values.max(axis=0)
+        span = hi - lo
+        safe_span = np.where(span > 0, span, 1.0)
+        scaled = (self._values - lo) / safe_span
+        scaled[:, span == 0] = 0.5
+        return Dataset(
+            scaled,
+            attribute_names=self.attribute_names,
+            option_ids=self.option_ids,
+            name=name or f"{self.name}[normalized]",
+        )
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def scores(self, weight: Sequence[float]) -> np.ndarray:
+        """Scores ``S_w(p_i) = w . p_i`` of all options for a full weight vector ``w``."""
+        weight = np.asarray(weight, dtype=float)
+        if weight.shape != (self.n_attributes,):
+            raise DimensionMismatchError(
+                f"weight vector must have {self.n_attributes} components, got {weight.shape}"
+            )
+        return self._values @ weight
+
+    def scores_many(self, weights: np.ndarray) -> np.ndarray:
+        """Score matrix of shape ``(n_options, n_weights)`` for several full weight vectors."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2 or weights.shape[1] != self.n_attributes:
+            raise DimensionMismatchError(
+                f"weights must be (m, {self.n_attributes}), got {weights.shape}"
+            )
+        return self._values @ weights.T
+
+    # ------------------------------------------------------------------ #
+    # reporting helpers
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        """Summary statistics used by the experiment reports."""
+        return {
+            "name": self.name,
+            "n_options": self.n_options,
+            "n_attributes": self.n_attributes,
+            "attribute_names": list(self.attribute_names),
+            "min": self._values.min(axis=0).tolist(),
+            "max": self._values.max(axis=0).tolist(),
+            "mean": self._values.mean(axis=0).tolist(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Dataset(name={self.name!r}, n={self.n_options}, d={self.n_attributes})"

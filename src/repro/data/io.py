@@ -1,0 +1,80 @@
+"""CSV persistence for datasets.
+
+The experiment harness can cache generated datasets and export results; the
+format is a plain CSV with a one-line header of attribute names and an
+optional leading ``option_id`` column, so files interoperate with pandas,
+spreadsheets and the original authors' data layout.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+
+PathLike = Union[str, Path]
+
+
+def save_csv(dataset: Dataset, path: PathLike, include_ids: bool = True) -> Path:
+    """Write ``dataset`` to ``path`` as CSV and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = (["option_id"] if include_ids else []) + list(dataset.attribute_names)
+        writer.writerow(header)
+        for i in range(dataset.n_options):
+            row = ([dataset.option_ids[i]] if include_ids else []) + [
+                f"{v:.10g}" for v in dataset.values[i]
+            ]
+            writer.writerow(row)
+    return path
+
+
+def load_csv(path: PathLike, name: str = None, has_ids: bool = None) -> Dataset:
+    """Read a dataset written by :func:`save_csv` (or any numeric CSV with a header).
+
+    Parameters
+    ----------
+    path:
+        CSV file path.
+    name:
+        Dataset name; defaults to the file stem.
+    has_ids:
+        Whether the first column holds option identifiers.  When ``None`` it
+        is auto-detected from the header (a first column named ``option_id``).
+    """
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise InvalidParameterError(f"{path} is empty") from exc
+        if has_ids is None:
+            has_ids = bool(header) and header[0].strip().lower() == "option_id"
+        attribute_names = header[1:] if has_ids else header
+        ids = []
+        rows = []
+        for line in reader:
+            if not line:
+                continue
+            if has_ids:
+                ids.append(line[0])
+                rows.append([float(v) for v in line[1:]])
+            else:
+                rows.append([float(v) for v in line])
+    if not rows:
+        raise InvalidParameterError(f"{path} contains no data rows")
+    values = np.asarray(rows, dtype=float)
+    return Dataset(
+        values,
+        attribute_names=attribute_names,
+        option_ids=ids if has_ids else None,
+        name=name or path.stem,
+    )

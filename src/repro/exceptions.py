@@ -1,0 +1,25 @@
+"""Exception hierarchy used across the TopRR reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class DimensionMismatchError(ReproError):
+    """Raised when arrays of incompatible dimensionality are combined."""
+
+
+class EmptyRegionError(ReproError):
+    """Raised when an operation requires a non-empty region but got an empty one."""
+
+
+class DegeneratePolytopeError(ReproError):
+    """Raised when a polytope is too degenerate (lower-dimensional) for the operation."""
+
+
+class InfeasibleProblemError(ReproError):
+    """Raised when an optimisation problem (LP/QP) has no feasible point."""
+
+
+class InvalidParameterError(ReproError):
+    """Raised when a user-supplied parameter is out of its valid domain."""

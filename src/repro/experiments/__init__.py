@@ -1,0 +1,17 @@
+"""Experiment harness regenerating every table and figure of the paper's evaluation."""
+
+from repro.experiments.ablations import ABLATIONS, run_ablation
+from repro.experiments.config import DEFAULTS, Scale, sweep_values
+from repro.experiments.figures import EXPERIMENTS, run_experiment
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "DEFAULTS",
+    "Scale",
+    "sweep_values",
+    "EXPERIMENTS",
+    "run_experiment",
+    "ABLATIONS",
+    "run_ablation",
+    "format_table",
+]

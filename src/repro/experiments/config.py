@@ -1,0 +1,118 @@
+"""Experiment parameters (Table 5 of the paper) and their scaled-down variants.
+
+The paper's defaults are ``n = 400k``, ``d = 4``, ``k = 10``, ``sigma = 1%``
+on IND data.  A pure-Python reproduction cannot run the C++-scale sweeps in
+interactive time, so three *scales* are provided:
+
+* ``Scale.PAPER``   — the paper's exact parameter grid (long-running),
+* ``Scale.SCALED``  — the default: same grid shape with smaller cardinalities
+  and dimensionalities, preserving the relative comparisons,
+* ``Scale.SMOKE``   — tiny instances used by the test suite and CI-style runs.
+
+All experiment entry points (``repro.experiments.figures``) and benchmark
+targets accept a scale and read everything else from here, so the whole
+evaluation is parameterised in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+from repro.exceptions import InvalidParameterError
+
+
+class Scale(str, Enum):
+    """Workload scale for the experiment harness."""
+
+    SMOKE = "smoke"
+    SCALED = "scaled"
+    PAPER = "paper"
+
+    @classmethod
+    def parse(cls, value) -> "Scale":
+        """Coerce a string (or Scale) into a :class:`Scale` member."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            raise InvalidParameterError(
+                f"unknown scale {value!r}; expected one of {[s.value for s in cls]}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class Defaults:
+    """Default (non-varied) parameter values, per scale."""
+
+    n_options: int
+    n_attributes: int
+    k: int
+    sigma: float
+    distribution: str
+    n_queries: int
+    seed: int
+
+
+#: Default parameter values per scale.  The bold entries of Table 5 are
+#: k = 10, sigma = 1%, d = 4 (IND); the paper's default n is 0.4M.
+DEFAULTS: Dict[Scale, Defaults] = {
+    Scale.SMOKE: Defaults(
+        n_options=2_000, n_attributes=3, k=5, sigma=0.02, distribution="IND", n_queries=2, seed=7
+    ),
+    Scale.SCALED: Defaults(
+        n_options=50_000, n_attributes=4, k=10, sigma=0.01, distribution="IND", n_queries=5, seed=7
+    ),
+    Scale.PAPER: Defaults(
+        n_options=400_000, n_attributes=4, k=10, sigma=0.01, distribution="IND", n_queries=50, seed=7
+    ),
+}
+
+#: Parameter sweeps per scale (Table 5: tested values of each parameter).
+_SWEEPS: Dict[Scale, Dict[str, List]] = {
+    Scale.PAPER: {
+        "k": [1, 5, 10, 20, 40],
+        "sigma": [0.001, 0.005, 0.01, 0.05, 0.10],
+        "n_options": [100_000, 200_000, 400_000, 800_000, 1_600_000],
+        "n_attributes": [2, 4, 6, 8, 10, 12],
+        "distribution": ["COR", "IND", "ANTI"],
+        "gamma": [0.25, 0.5, 1.0, 2.0, 4.0],
+    },
+    Scale.SCALED: {
+        "k": [1, 5, 10, 20, 40],
+        "sigma": [0.001, 0.005, 0.01, 0.05, 0.10],
+        "n_options": [10_000, 20_000, 40_000, 80_000, 160_000],
+        "n_attributes": [2, 3, 4, 5, 6],
+        "distribution": ["COR", "IND", "ANTI"],
+        "gamma": [0.25, 0.5, 1.0, 2.0, 4.0],
+    },
+    Scale.SMOKE: {
+        "k": [1, 3, 5],
+        "sigma": [0.01, 0.05],
+        "n_options": [1_000, 2_000],
+        "n_attributes": [2, 3, 4],
+        "distribution": ["COR", "IND", "ANTI"],
+        "gamma": [0.5, 1.0, 2.0],
+    },
+}
+
+#: Real-dataset labels used by Figure 11 and Table 6.
+REAL_DATASETS = ["HOTEL", "HOUSE", "NBA"]
+
+
+def sweep_values(parameter: str, scale: Scale = Scale.SCALED) -> List:
+    """Tested values of ``parameter`` at the given scale (Table 5)."""
+    scale = Scale.parse(scale)
+    sweeps = _SWEEPS[scale]
+    if parameter not in sweeps:
+        raise InvalidParameterError(
+            f"unknown sweep parameter {parameter!r}; expected one of {sorted(sweeps)}"
+        )
+    return list(sweeps[parameter])
+
+
+def defaults(scale: Scale = Scale.SCALED) -> Defaults:
+    """Default parameter bundle at the given scale."""
+    return DEFAULTS[Scale.parse(scale)]

@@ -1,0 +1,333 @@
+"""One runner per table and figure of the paper's evaluation (Section 6).
+
+Every runner returns a list of flat row dictionaries — the same rows/series
+the corresponding figure or table plots — and can be rendered with
+:func:`repro.experiments.reporting.format_table`.  The registry
+:data:`EXPERIMENTS` maps experiment identifiers (``"fig9a"``, ``"table6"``,
+...) to their runner so that the CLI and the benchmark suite can address them
+uniformly.
+
+The paper's absolute numbers were measured with a C++ implementation on
+million-option datasets; the runners therefore accept a ``scale`` argument
+(see :mod:`repro.experiments.config`) and the comparisons of interest are the
+*relative* ones (which method wins, how quantities grow with each parameter).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.kipr import WorkingSet, consistent_top_lambda, region_profiles
+from repro.core.placement import cheapest_new_option, cost_saving_vs_competitors
+from repro.core.tas_star import TASStarSolver
+from repro.core.toprr import solve_toprr
+from repro.data.surrogates import cnet_laptops
+from repro.experiments.config import REAL_DATASETS, Scale, defaults, sweep_values
+from repro.experiments.runner import METHOD_ORDER, run_method, run_methods
+from repro.experiments.workloads import make_dataset, make_queries, make_real_dataset
+from repro.preference.region import PreferenceRegion
+from repro.pruning.comparison import compare_filters
+from repro.pruning.rskyband import r_skyband
+
+
+# --------------------------------------------------------------------------- #
+# Section 6.2 — case study (Figure 7)
+# --------------------------------------------------------------------------- #
+def figure7_case_study(scale: Scale = Scale.SCALED, k: int = 3) -> List[dict]:
+    """Figure 7: introducing a new laptop for two target clienteles.
+
+    For each target preference region the row reports the cost-optimal
+    placement inside ``oR`` (performance/battery ratings), its manufacturing
+    cost under the summed-squares model, and the cost saving against existing
+    laptops that are already top-ranking (the paper reports 18.6%-27.1% and
+    7.2%-27.1% for the two scenarios).
+    """
+    dataset = cnet_laptops()
+    rows = []
+    for label, interval in (("designers wR=[0.7,0.8]", (0.7, 0.8)), ("business wR=[0.1,0.2]", (0.1, 0.2))):
+        region = PreferenceRegion.interval(*interval)
+        result = solve_toprr(dataset, k=k, region=region)
+        placement = cheapest_new_option(result)
+        saving_min, saving_max = cost_saving_vs_competitors(result, placement)
+        rows.append(
+            {
+                "scenario": label,
+                "k": k,
+                "optimal_performance": round(float(placement.option[0]), 3),
+                "optimal_battery": round(float(placement.option[1]), 3),
+                "cost": round(placement.cost, 4),
+                "n_competitors_in_oR": int(result.existing_top_ranking_options().size),
+                "saving_min_pct": round(100 * saving_min, 1),
+                "saving_max_pct": round(100 * saving_max, 1),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Section 6.3 — filter trade-offs (Figure 8)
+# --------------------------------------------------------------------------- #
+def figure8_filter_tradeoff(scale: Scale = Scale.SCALED) -> List[dict]:
+    """Figure 8: retained options vs time for the four candidate pre-filters."""
+    scale = Scale.parse(scale)
+    base = defaults(scale)
+    dataset = make_dataset(scale)
+    queries = make_queries(scale, dataset=dataset, n_queries=1)
+    comparison = compare_filters(dataset, base.k, queries[0].region)
+    rows = comparison.rows()
+    for row in rows:
+        row["dataset"] = dataset.name
+        row["k"] = base.k
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Section 6.4 — method comparison (Figure 9) and TAS* robustness (Figures 10, 11)
+# --------------------------------------------------------------------------- #
+_VARY_TO_KWARG = {
+    "k": "k",
+    "sigma": "sigma",
+    "n": "n_options",
+    "d": "n_attributes",
+}
+
+
+def _sweep_parameter(vary: str, scale: Scale) -> List:
+    parameter = {"k": "k", "sigma": "sigma", "n": "n_options", "d": "n_attributes"}[vary]
+    return sweep_values(parameter, scale)
+
+
+def figure9_methods(vary: str, scale: Scale = Scale.SCALED, methods=None) -> List[dict]:
+    """Figure 9(a-d): PAC vs TAS vs TAS* while varying ``k``, ``sigma``, ``n`` or ``d``."""
+    scale = Scale.parse(scale)
+    methods = list(methods) if methods is not None else list(METHOD_ORDER)
+    rows = []
+    kwarg = _VARY_TO_KWARG[vary]
+    shared_dataset = make_dataset(scale) if vary in ("k", "sigma") else None
+    for value in _sweep_parameter(vary, scale):
+        queries = make_queries(scale, dataset=shared_dataset, **{kwarg: value})
+        measurements = run_methods(methods, queries)
+        for method in methods:
+            measurement = measurements[method]
+            rows.append(
+                {
+                    "vary": vary,
+                    vary: value,
+                    "method": method,
+                    "seconds": measurement.seconds,
+                    "n_vertices": measurement.n_vertices,
+                    "n_filtered": measurement.n_filtered,
+                }
+            )
+    return rows
+
+
+def figure10_distributions(vary: str, scale: Scale = Scale.SCALED) -> List[dict]:
+    """Figure 10(a-d): TAS* on COR/IND/ANTI data while varying ``k``, ``sigma``, ``n`` or ``d``."""
+    scale = Scale.parse(scale)
+    rows = []
+    kwarg = _VARY_TO_KWARG[vary]
+    for distribution in sweep_values("distribution", scale):
+        shared_dataset = (
+            make_dataset(scale, distribution=distribution) if vary in ("k", "sigma") else None
+        )
+        for value in _sweep_parameter(vary, scale):
+            queries = make_queries(
+                scale, distribution=distribution, dataset=shared_dataset, **{kwarg: value}
+            )
+            measurement = run_method("TAS*", queries)
+            rows.append(
+                {
+                    "vary": vary,
+                    "distribution": distribution,
+                    vary: value,
+                    "seconds": measurement.seconds,
+                    "n_vertices": measurement.n_vertices,
+                    "n_filtered": measurement.n_filtered,
+                }
+            )
+    return rows
+
+
+def figure11_real(vary: str, scale: Scale = Scale.SCALED) -> List[dict]:
+    """Figure 11(a, b): TAS* on the real-dataset surrogates while varying ``k`` or ``sigma``."""
+    scale = Scale.parse(scale)
+    if vary not in ("k", "sigma"):
+        raise ValueError("figure 11 varies only k or sigma")
+    rows = []
+    for name in REAL_DATASETS:
+        dataset = make_real_dataset(name, scale)
+        for value in _sweep_parameter(vary, scale):
+            queries = make_queries(scale, dataset=dataset, **{_VARY_TO_KWARG[vary]: value})
+            measurement = run_method("TAS*", queries)
+            rows.append(
+                {
+                    "dataset": name,
+                    vary: value,
+                    "seconds": measurement.seconds,
+                    "n_vertices": measurement.n_vertices,
+                    "n_filtered": measurement.n_filtered,
+                }
+            )
+    return rows
+
+
+def table6_real_vs_synthetic(scale: Scale = Scale.SCALED) -> List[dict]:
+    """Table 6: TAS* on each real dataset vs COR/IND/ANTI of the same cardinality and d."""
+    scale = Scale.parse(scale)
+    rows = []
+    for name in REAL_DATASETS:
+        real = make_real_dataset(name, scale)
+        row = {
+            "dataset": name,
+            "n": real.n_options,
+            "d": real.n_attributes,
+        }
+        for distribution in ("COR", "IND", "ANTI"):
+            synthetic = make_dataset(
+                scale,
+                distribution=distribution,
+                n_options=real.n_options,
+                n_attributes=real.n_attributes,
+            )
+            queries = make_queries(scale, dataset=synthetic)
+            row[f"{distribution.lower()}_seconds"] = run_method("TAS*", queries).seconds
+        queries = make_queries(scale, dataset=real)
+        row["real_seconds"] = run_method("TAS*", queries).seconds
+        rows.append(row)
+    return rows
+
+
+def table7_elongation(scale: Scale = Scale.SCALED) -> List[dict]:
+    """Table 7: effect of the wR elongation factor gamma on TAS* (real-dataset surrogates)."""
+    scale = Scale.parse(scale)
+    rows = []
+    for gamma in sweep_values("gamma", scale):
+        row = {"gamma": gamma}
+        for name in REAL_DATASETS:
+            dataset = make_real_dataset(name, scale)
+            queries = make_queries(scale, dataset=dataset, gamma=gamma)
+            row[f"{name.lower()}_seconds"] = run_method("TAS*", queries).seconds
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Section 6.5 — effect of the individual optimizations (Figures 12-14)
+# --------------------------------------------------------------------------- #
+def _lemma5_retained(dataset, k, region) -> tuple:
+    """(r-skyband size, r-skyband + Lemma 5 size) for one query."""
+    kept = r_skyband(dataset, k, region)
+    filtered = dataset.subset(kept)
+    working = WorkingSet.from_dataset(filtered, k)
+    profiles = region_profiles(working, region)
+    lam, _phi = consistent_top_lambda(profiles, working.k)
+    return len(kept), len(kept) - lam
+
+
+def figure12_lemma5(vary: str, scale: Scale = Scale.SCALED) -> List[dict]:
+    """Figure 12(a, b): retained options, r-skyband alone vs r-skyband + Lemma 5."""
+    scale = Scale.parse(scale)
+    if vary not in ("k", "sigma"):
+        raise ValueError("figure 12 varies only k or sigma")
+    rows = []
+    dataset = make_dataset(scale)
+    for value in _sweep_parameter(vary, scale):
+        queries = make_queries(scale, dataset=dataset, **{_VARY_TO_KWARG[vary]: value})
+        sizes = [_lemma5_retained(q.dataset, q.k, q.region) for q in queries]
+        rows.append(
+            {
+                vary: value,
+                "r_skyband": float(np.mean([s[0] for s in sizes])),
+                "r_skyband_lemma5": float(np.mean([s[1] for s in sizes])),
+            }
+        )
+    return rows
+
+
+def _vall_with_solver(queries, solver) -> float:
+    return run_method(solver.name, queries, solver=solver).n_vertices
+
+
+def figure13_lemma7(vary: str, scale: Scale = Scale.SCALED) -> List[dict]:
+    """Figure 13(a, b): |V_all| with the Lemma 7 optimized test enabled vs disabled."""
+    scale = Scale.parse(scale)
+    if vary not in ("k", "sigma"):
+        raise ValueError("figure 13 varies only k or sigma")
+    rows = []
+    dataset = make_dataset(scale)
+    for value in _sweep_parameter(vary, scale):
+        queries = make_queries(scale, dataset=dataset, **{_VARY_TO_KWARG[vary]: value})
+        enabled = _vall_with_solver(queries, TASStarSolver(use_lemma7=True))
+        disabled = _vall_with_solver(queries, TASStarSolver(use_lemma7=False))
+        rows.append({vary: value, "lemma7_enabled": enabled, "lemma7_disabled": disabled})
+    return rows
+
+
+def figure14_kswitch(vary: str, scale: Scale = Scale.SCALED) -> List[dict]:
+    """Figure 14(a, b): |V_all| with the k-switch splitting strategy enabled vs disabled."""
+    scale = Scale.parse(scale)
+    if vary not in ("k", "sigma"):
+        raise ValueError("figure 14 varies only k or sigma")
+    rows = []
+    dataset = make_dataset(scale)
+    for value in _sweep_parameter(vary, scale):
+        queries = make_queries(scale, dataset=dataset, **{_VARY_TO_KWARG[vary]: value})
+        enabled = _vall_with_solver(queries, TASStarSolver(use_k_switch=True))
+        disabled = _vall_with_solver(queries, TASStarSolver(use_k_switch=False))
+        rows.append({vary: value, "k_switch_enabled": enabled, "k_switch_disabled": disabled})
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+def _register(runner: Callable[..., List[dict]], vary: str, summary: str):
+    """Bind a figure runner to one swept parameter and attach a one-line summary."""
+
+    def wrapper(scale: Scale = Scale.SCALED) -> List[dict]:
+        return runner(vary, scale)
+
+    wrapper.__doc__ = summary
+    wrapper.__name__ = f"{runner.__name__}_{vary}"
+    return wrapper
+
+
+EXPERIMENTS: Dict[str, Callable[..., List[dict]]] = {
+    "fig7": figure7_case_study,
+    "fig8": figure8_filter_tradeoff,
+    "fig9a": _register(figure9_methods, "k", "Figure 9(a): PAC vs TAS vs TAS* varying k."),
+    "fig9b": _register(figure9_methods, "sigma", "Figure 9(b): PAC vs TAS vs TAS* varying sigma."),
+    "fig9c": _register(figure9_methods, "n", "Figure 9(c): PAC vs TAS vs TAS* varying n."),
+    "fig9d": _register(figure9_methods, "d", "Figure 9(d): PAC vs TAS vs TAS* varying d."),
+    "fig10a": _register(figure10_distributions, "k", "Figure 10(a): TAS* on COR/IND/ANTI varying k."),
+    "fig10b": _register(
+        figure10_distributions, "sigma", "Figure 10(b): TAS* on COR/IND/ANTI varying sigma."
+    ),
+    "fig10c": _register(figure10_distributions, "n", "Figure 10(c): TAS* on COR/IND/ANTI varying n."),
+    "fig10d": _register(figure10_distributions, "d", "Figure 10(d): TAS* on COR/IND/ANTI varying d."),
+    "fig11a": _register(figure11_real, "k", "Figure 11(a): TAS* on real-dataset surrogates varying k."),
+    "fig11b": _register(
+        figure11_real, "sigma", "Figure 11(b): TAS* on real-dataset surrogates varying sigma."
+    ),
+    "table6": table6_real_vs_synthetic,
+    "table7": table7_elongation,
+    "fig12a": _register(figure12_lemma5, "k", "Figure 12(a): Lemma 5 pruning varying k."),
+    "fig12b": _register(figure12_lemma5, "sigma", "Figure 12(b): Lemma 5 pruning varying sigma."),
+    "fig13a": _register(figure13_lemma7, "k", "Figure 13(a): Lemma 7 optimized testing varying k."),
+    "fig13b": _register(
+        figure13_lemma7, "sigma", "Figure 13(b): Lemma 7 optimized testing varying sigma."
+    ),
+    "fig14a": _register(figure14_kswitch, "k", "Figure 14(a): k-switch selection varying k."),
+    "fig14b": _register(figure14_kswitch, "sigma", "Figure 14(b): k-switch selection varying sigma."),
+}
+
+
+def run_experiment(identifier: str, scale: Scale = Scale.SCALED) -> List[dict]:
+    """Run one experiment by its identifier (e.g. ``"fig9a"`` or ``"table6"``)."""
+    key = identifier.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {identifier!r}; available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key](scale=scale)

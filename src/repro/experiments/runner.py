@@ -1,0 +1,86 @@
+"""Measurement runner: execute TopRR methods on workloads and aggregate statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.toprr import solve_toprr
+from repro.experiments.workloads import Workload
+from repro.utils.timer import Timer
+
+#: Method labels in the order the paper's figures list them.
+METHOD_ORDER = ["PAC", "TAS", "TAS*"]
+
+_METHOD_KEYS = {"PAC": "pac", "TAS": "tas", "TAS*": "tas*"}
+
+
+@dataclass
+class Measurement:
+    """Aggregated outcome of running one method on a set of workloads."""
+
+    method: str
+    seconds: float
+    n_vertices: float
+    n_filtered: float
+    n_splits: float
+    per_query: List[dict] = field(default_factory=list)
+
+    def as_row(self) -> dict:
+        """Flat dictionary for tabular reporting."""
+        return {
+            "method": self.method,
+            "seconds": self.seconds,
+            "n_vertices": self.n_vertices,
+            "n_filtered": self.n_filtered,
+            "n_splits": self.n_splits,
+        }
+
+
+def run_method(
+    method: str,
+    workloads: Sequence[Workload],
+    solver=None,
+) -> Measurement:
+    """Run ``method`` (or an explicit solver) on every workload and average the results."""
+    rows = []
+    for workload in workloads:
+        timer = Timer().start()
+        result = solve_toprr(
+            workload.dataset,
+            workload.k,
+            workload.region,
+            method=solver if solver is not None else _METHOD_KEYS.get(method, method),
+        )
+        seconds = timer.stop()
+        rows.append(
+            {
+                "seconds": seconds,
+                "n_vertices": result.n_vertices,
+                "n_filtered": result.filtered.n_options,
+                "n_splits": result.stats.n_splits,
+                "volume": result.volume(),
+            }
+        )
+    return Measurement(
+        method=method,
+        seconds=float(np.mean([r["seconds"] for r in rows])),
+        n_vertices=float(np.mean([r["n_vertices"] for r in rows])),
+        n_filtered=float(np.mean([r["n_filtered"] for r in rows])),
+        n_splits=float(np.mean([r["n_splits"] for r in rows])),
+        per_query=rows,
+    )
+
+
+def run_methods(
+    methods: Sequence[str],
+    workloads: Sequence[Workload],
+    solvers: Optional[Dict[str, object]] = None,
+) -> Dict[str, Measurement]:
+    """Run several methods on the same workloads (the per-figure comparison primitive)."""
+    solvers = solvers or {}
+    return {
+        method: run_method(method, workloads, solver=solvers.get(method)) for method in methods
+    }

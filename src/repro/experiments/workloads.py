@@ -1,0 +1,113 @@
+"""Workload construction for the experiment harness.
+
+A *workload* is a fully instantiated TopRR query: a dataset (synthetic or
+real-surrogate), a value of ``k``, and a preference region.  The experiments
+of Section 6 average each measurement over several randomly generated regions
+for fixed dataset parameters; :func:`make_queries` produces that list of
+regions deterministically from the configured seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.data.dataset import Dataset
+from repro.data.generators import generate_synthetic
+from repro.data.surrogates import real_dataset
+from repro.experiments.config import Scale, defaults
+from repro.preference.random_regions import random_elongated_region, random_hypercube_region
+from repro.preference.region import PreferenceRegion
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One TopRR query instance used by the harness."""
+
+    dataset: Dataset
+    k: int
+    region: PreferenceRegion
+    label: str
+
+
+def make_dataset(
+    scale: Scale = Scale.SCALED,
+    distribution: Optional[str] = None,
+    n_options: Optional[int] = None,
+    n_attributes: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Dataset:
+    """Synthetic dataset with the scale's defaults for any unspecified parameter."""
+    base = defaults(scale)
+    return generate_synthetic(
+        distribution or base.distribution,
+        n_options or base.n_options,
+        n_attributes or base.n_attributes,
+        rng=seed if seed is not None else base.seed,
+    )
+
+
+def make_real_dataset(name: str, scale: Scale = Scale.SCALED) -> Dataset:
+    """Real-dataset surrogate (HOTEL / HOUSE / NBA / CNET) at the requested scale.
+
+    At smoke scale the surrogates are down-sampled to a few thousand options so
+    that the per-figure benchmarks stay interactive; the attribute structure
+    (dimensionality and correlation character) is unchanged.
+    """
+    scale = Scale.parse(scale)
+    if scale is Scale.SMOKE:
+        return real_dataset(name, n_options=2_000)
+    return real_dataset(name, scale="paper" if scale is Scale.PAPER else "scaled")
+
+
+def make_regions(
+    n_attributes: int,
+    sigma: float,
+    n_queries: int,
+    seed: int,
+    gamma: float = 1.0,
+) -> List[PreferenceRegion]:
+    """Deterministic list of random preference regions (hyper-cubes, or elongated boxes)."""
+    rng = ensure_rng(seed)
+    regions = []
+    for _ in range(n_queries):
+        if gamma == 1.0:
+            regions.append(random_hypercube_region(n_attributes, sigma, rng=rng))
+        else:
+            regions.append(random_elongated_region(n_attributes, sigma, gamma, rng=rng))
+    return regions
+
+
+def make_queries(
+    scale: Scale = Scale.SCALED,
+    distribution: Optional[str] = None,
+    n_options: Optional[int] = None,
+    n_attributes: Optional[int] = None,
+    k: Optional[int] = None,
+    sigma: Optional[float] = None,
+    gamma: float = 1.0,
+    n_queries: Optional[int] = None,
+    dataset: Optional[Dataset] = None,
+) -> List[Workload]:
+    """Fully instantiated queries for one experiment data point.
+
+    Any parameter left as ``None`` takes the scale's default; a pre-built
+    ``dataset`` can be supplied to share it across data points (e.g. when
+    only ``k`` or ``sigma`` varies).
+    """
+    scale = Scale.parse(scale)
+    base = defaults(scale)
+    k = k if k is not None else base.k
+    sigma = sigma if sigma is not None else base.sigma
+    n_queries = n_queries if n_queries is not None else base.n_queries
+    if dataset is None:
+        dataset = make_dataset(
+            scale,
+            distribution=distribution,
+            n_options=n_options,
+            n_attributes=n_attributes,
+        )
+    regions = make_regions(dataset.n_attributes, sigma, n_queries, seed=base.seed + 1, gamma=gamma)
+    label = f"{dataset.name}|k={k}|sigma={sigma}|gamma={gamma}"
+    return [Workload(dataset=dataset, k=k, region=region, label=label) for region in regions]

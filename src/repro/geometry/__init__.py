@@ -1,0 +1,25 @@
+"""Computational-geometry substrate.
+
+This subpackage replaces the C++/qhull layer used by the paper's authors.
+It provides hyperplanes and halfspaces, convex polytopes with the hybrid
+facet/vertex/halfspace representation of Section 4.2.2, LP helpers
+(feasibility, Chebyshev centres), vertex enumeration via halfspace
+intersection, polytope volume, and the quadratic-programming placement
+solvers used for cost-optimal option creation and enhancement.
+"""
+
+from repro.geometry.halfspace import Halfspace
+from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.polytope import ConvexPolytope
+from repro.geometry.chebyshev import chebyshev_center, is_feasible
+from repro.geometry.qp import minimize_quadratic_cost, project_point_onto_polytope
+
+__all__ = [
+    "Hyperplane",
+    "Halfspace",
+    "ConvexPolytope",
+    "chebyshev_center",
+    "is_feasible",
+    "minimize_quadratic_cost",
+    "project_point_onto_polytope",
+]

@@ -1,0 +1,84 @@
+"""Halfspaces ``a . x <= b``.
+
+Halfspaces appear in two roles in the paper:
+
+* *impact halfspaces* ``oH(w)`` in the option space (Definition 2), whose
+  intersection is the TopRR output region ``oR``;
+* *preference halfspaces* ``wH(p_i, p_j)`` in the preference space, which
+  bound the rank-invariant regions produced during test-and-split.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.hyperplane import Hyperplane
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+
+class Halfspace:
+    """A closed halfspace ``{x : a . x <= b}``.
+
+    The halfspace stores a normalised boundary :class:`Hyperplane`; the
+    *interior* direction is ``-a`` (points with smaller ``a . x``).
+    """
+
+    __slots__ = ("boundary",)
+
+    def __init__(self, normal: Sequence[float], offset: float, normalize: bool = True):
+        self.boundary = Hyperplane(normal, offset, normalize=normalize)
+
+    @classmethod
+    def from_hyperplane(cls, hyperplane: Hyperplane) -> "Halfspace":
+        """Halfspace on the negative side of ``hyperplane``."""
+        return cls(hyperplane.normal, hyperplane.offset, normalize=False)
+
+    @property
+    def normal(self) -> np.ndarray:
+        """Outward normal ``a`` of the constraint ``a . x <= b``."""
+        return self.boundary.normal
+
+    @property
+    def offset(self) -> float:
+        """Right-hand side ``b`` of the constraint ``a . x <= b``."""
+        return self.boundary.offset
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the ambient space."""
+        return self.boundary.dimension
+
+    def contains(self, point: Sequence[float], tol: Tolerance = DEFAULT_TOL) -> bool:
+        """Return True if ``point`` satisfies ``a . x <= b`` within tolerance."""
+        return self.boundary.evaluate(point) <= tol.geometry
+
+    def contains_many(self, points: np.ndarray, tol: Tolerance = DEFAULT_TOL) -> np.ndarray:
+        """Vectorised :meth:`contains` for an ``(n, d)`` array of points."""
+        return self.boundary.evaluate_many(points) <= tol.geometry
+
+    def violation(self, point: Sequence[float]) -> float:
+        """Positive amount by which ``point`` violates the constraint (0 if satisfied)."""
+        return max(0.0, self.boundary.evaluate(point))
+
+    def complement(self) -> "Halfspace":
+        """The opposite closed halfspace ``a . x >= b`` expressed as ``-a . x <= -b``."""
+        return Halfspace(-self.normal, -self.offset, normalize=False)
+
+    def as_inequality(self) -> tuple[np.ndarray, float]:
+        """Return ``(a, b)`` for the constraint ``a . x <= b``."""
+        return self.normal.copy(), float(self.offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        terms = " + ".join(f"{c:.4g}*x{i}" for i, c in enumerate(self.normal))
+        return f"Halfspace({terms} <= {self.offset:.4g})"
+
+
+def stack_halfspaces(halfspaces: Sequence[Halfspace]) -> tuple[np.ndarray, np.ndarray]:
+    """Stack a sequence of halfspaces into matrix form ``(A, b)`` with ``A x <= b``."""
+    if not halfspaces:
+        raise ValueError("cannot stack an empty sequence of halfspaces")
+    A = np.vstack([h.normal for h in halfspaces])
+    b = np.array([h.offset for h in halfspaces], dtype=float)
+    return A, b

@@ -1,0 +1,340 @@
+"""Convex polytopes with the hybrid facet-based representation of the paper.
+
+A :class:`ConvexPolytope` keeps three coordinated views of the same body
+(Section 4.2.2 of the paper):
+
+* the H-representation ``A x <= b`` (one row per bounding halfspace),
+* the V-representation (the defining vertices), and
+* the vertex–facet incidence ("facet-based representation": each facet is a
+  hyperplane augmented with the defining vertices lying on it).
+
+Splitting a polytope by a hyperplane — the core geometric operation of the
+test-and-split algorithms — classifies the vertices by side, reuses the
+parent's facets, adds the splitting hyperplane as a new facet on each child,
+and re-enumerates vertices with qhull (the same library the paper's C++
+implementation calls).  Children whose Chebyshev radius is below tolerance
+are reported as empty.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DegeneratePolytopeError, EmptyRegionError
+from repro.geometry.chebyshev import chebyshev_center, maximize_linear
+from repro.geometry.halfspace import Halfspace
+from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.vertex_enum import (
+    deduplicate_points,
+    enumerate_vertices,
+    vertex_facet_incidence,
+)
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+
+class ConvexPolytope:
+    """A bounded convex polytope ``{x : A x <= b}``.
+
+    Instances are immutable from the caller's point of view: all operations
+    (intersection, splitting) return new polytopes.
+
+    Parameters
+    ----------
+    A, b:
+        H-representation.  Rows with (numerically) zero normals are dropped.
+    vertices:
+        Optional pre-computed vertex array.  When omitted, vertices are
+        enumerated lazily on first access.
+    tol:
+        Tolerance bundle used by all geometric predicates on this polytope.
+    """
+
+    def __init__(
+        self,
+        A: np.ndarray,
+        b: np.ndarray,
+        vertices: Optional[np.ndarray] = None,
+        tol: Tolerance = DEFAULT_TOL,
+    ):
+        A = np.atleast_2d(np.asarray(A, dtype=float))
+        b = np.asarray(b, dtype=float).ravel()
+        if A.shape[0] != b.shape[0]:
+            raise ValueError("A and b must have the same number of rows")
+        norms = np.linalg.norm(A, axis=1)
+        keep = norms > tol.geometry
+        # Normalise rows so that facet identification and slack values are scale-free.
+        A = A[keep] / norms[keep][:, None]
+        b = b[keep] / norms[keep]
+        self._A = A
+        self._b = b
+        self._tol = tol
+        self._vertices = None if vertices is None else np.asarray(vertices, dtype=float)
+        self._chebyshev: Optional[Tuple[Optional[np.ndarray], float]] = None
+        self._incidence: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_box(
+        cls,
+        lower: Sequence[float],
+        upper: Sequence[float],
+        tol: Tolerance = DEFAULT_TOL,
+    ) -> "ConvexPolytope":
+        """Axis-aligned box ``[lower, upper]`` as a polytope."""
+        lower = np.asarray(lower, dtype=float)
+        upper = np.asarray(upper, dtype=float)
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise ValueError("lower and upper must be 1-D arrays of equal length")
+        if np.any(upper < lower):
+            raise ValueError("box upper bounds must not be below lower bounds")
+        dim = lower.shape[0]
+        eye = np.eye(dim)
+        A = np.vstack([eye, -eye])
+        b = np.concatenate([upper, -lower])
+        return cls(A, b, tol=tol)
+
+    @classmethod
+    def from_halfspaces(
+        cls,
+        halfspaces: Iterable[Halfspace],
+        tol: Tolerance = DEFAULT_TOL,
+    ) -> "ConvexPolytope":
+        """Polytope bounded by an iterable of :class:`Halfspace` objects."""
+        halfspaces = list(halfspaces)
+        if not halfspaces:
+            raise ValueError("at least one halfspace is required")
+        A = np.vstack([h.normal for h in halfspaces])
+        b = np.array([h.offset for h in halfspaces], dtype=float)
+        return cls(A, b, tol=tol)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Dimension of the ambient space."""
+        return self._A.shape[1]
+
+    @property
+    def n_constraints(self) -> int:
+        """Number of stored bounding halfspaces (possibly including redundant ones)."""
+        return self._A.shape[0]
+
+    @property
+    def halfspaces(self) -> Tuple[np.ndarray, np.ndarray]:
+        """H-representation ``(A, b)`` with ``A x <= b`` (copies)."""
+        return self._A.copy(), self._b.copy()
+
+    @property
+    def tol(self) -> Tolerance:
+        """Tolerance bundle used by this polytope."""
+        return self._tol
+
+    def _cheb(self) -> Tuple[Optional[np.ndarray], float]:
+        if self._chebyshev is None:
+            self._chebyshev = chebyshev_center(self._A, self._b)
+        return self._chebyshev
+
+    @property
+    def chebyshev_radius(self) -> float:
+        """Radius of the largest inscribed ball (``-inf`` if empty)."""
+        return self._cheb()[1]
+
+    @property
+    def chebyshev_centre(self) -> Optional[np.ndarray]:
+        """Centre of the largest inscribed ball (``None`` if empty)."""
+        centre = self._cheb()[0]
+        return None if centre is None else centre.copy()
+
+    def is_empty(self) -> bool:
+        """Return True if the polytope has no point at all."""
+        return self._cheb()[0] is None
+
+    def is_full_dimensional(self) -> bool:
+        """Return True if the polytope has a non-empty interior."""
+        return self._cheb()[1] > self._tol.radius
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Defining vertices as an ``(m, d)`` array (enumerated lazily)."""
+        if self._vertices is None:
+            centre, radius = self._cheb()
+            if centre is None:
+                self._vertices = np.empty((0, self.dimension))
+            elif radius <= self._tol.radius and self.dimension > 1:
+                raise DegeneratePolytopeError(
+                    "cannot enumerate vertices of a lower-dimensional polytope"
+                )
+            else:
+                self._vertices = enumerate_vertices(
+                    self._A, self._b, interior_point=None if self.dimension == 1 else centre,
+                    tol=self._tol,
+                )
+        return self._vertices
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of defining vertices."""
+        return self.vertices.shape[0]
+
+    def incidence(self) -> np.ndarray:
+        """Vertex–facet incidence matrix (the facet-based representation)."""
+        if self._incidence is None:
+            self._incidence = vertex_facet_incidence(self.vertices, self._A, self._b, self._tol)
+        return self._incidence
+
+    def facet_vertices(self, facet_index: int) -> np.ndarray:
+        """Vertices lying on the ``facet_index``-th stored halfspace."""
+        mask = self.incidence()[:, facet_index]
+        return self.vertices[mask]
+
+    # ------------------------------------------------------------------ #
+    # membership and measurements
+    # ------------------------------------------------------------------ #
+    def contains(self, point: Sequence[float], tol: Optional[Tolerance] = None) -> bool:
+        """Return True if ``point`` satisfies every bounding halfspace."""
+        tol = tol or self._tol
+        point = np.asarray(point, dtype=float)
+        return bool(np.all(self._A @ point - self._b <= tol.geometry))
+
+    def contains_many(self, points: np.ndarray, tol: Optional[Tolerance] = None) -> np.ndarray:
+        """Vectorised membership test for an ``(n, d)`` array of points."""
+        tol = tol or self._tol
+        points = np.asarray(points, dtype=float)
+        slack = points @ self._A.T - self._b[None, :]
+        return np.all(slack <= tol.geometry, axis=1)
+
+    def volume(self) -> float:
+        """Euclidean volume of the polytope (0.0 for empty or degenerate bodies)."""
+        try:
+            verts = self.vertices
+        except DegeneratePolytopeError:
+            return 0.0
+        if verts.shape[0] <= self.dimension:
+            return 0.0
+        if self.dimension == 1:
+            return float(verts.max() - verts.min())
+        from scipy.spatial import ConvexHull, QhullError
+
+        try:
+            return float(ConvexHull(verts).volume)
+        except QhullError:
+            return 0.0
+
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned bounding box ``(lower, upper)`` of the vertex set."""
+        verts = self.vertices
+        if verts.shape[0] == 0:
+            raise EmptyRegionError("empty polytope has no bounding box")
+        return verts.min(axis=0), verts.max(axis=0)
+
+    def support(self, direction: Sequence[float]) -> Tuple[np.ndarray, float]:
+        """Maximise ``direction . x`` over the polytope via LP."""
+        return maximize_linear(np.asarray(direction, dtype=float), self._A, self._b)
+
+    # ------------------------------------------------------------------ #
+    # construction of derived polytopes
+    # ------------------------------------------------------------------ #
+    def intersect_halfspace(self, halfspace: Halfspace) -> "ConvexPolytope":
+        """Intersect with a single halfspace, returning a new polytope."""
+        A = np.vstack([self._A, halfspace.normal[None, :]])
+        b = np.concatenate([self._b, [halfspace.offset]])
+        return ConvexPolytope(A, b, tol=self._tol)
+
+    def intersect_halfspaces(self, halfspaces: Iterable[Halfspace]) -> "ConvexPolytope":
+        """Intersect with several halfspaces at once, returning a new polytope."""
+        halfspaces = list(halfspaces)
+        if not halfspaces:
+            return ConvexPolytope(self._A, self._b, vertices=self._vertices, tol=self._tol)
+        extra_A = np.vstack([h.normal for h in halfspaces])
+        extra_b = np.array([h.offset for h in halfspaces], dtype=float)
+        A = np.vstack([self._A, extra_A])
+        b = np.concatenate([self._b, extra_b])
+        return ConvexPolytope(A, b, tol=self._tol)
+
+    def split(self, hyperplane: Hyperplane) -> Tuple["ConvexPolytope", "ConvexPolytope"]:
+        """Split by ``hyperplane`` into the (<=) side and the (>=) side.
+
+        Both children share the splitting facet.  Either child may be empty
+        (or lower-dimensional) when the hyperplane only grazes the polytope;
+        callers should check :meth:`is_full_dimensional`.
+        """
+        below = self.intersect_halfspace(Halfspace.from_hyperplane(hyperplane))
+        above = self.intersect_halfspace(
+            Halfspace(-hyperplane.normal, -hyperplane.offset, normalize=False)
+        )
+        return below, above
+
+    def classify_vertices(self, hyperplane: Hyperplane) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Partition the vertex indices by side of ``hyperplane``.
+
+        Returns ``(below, on, above)`` index arrays, implementing the vertex
+        classification ``V_<`` / ``V_>`` of Section 4.2.2 (vertices on the
+        hyperplane belong to both children).
+        """
+        labels = hyperplane.classify_many(self.vertices, tol=self._tol)
+        below = np.flatnonzero(labels < 0)
+        on = np.flatnonzero(labels == 0)
+        above = np.flatnonzero(labels > 0)
+        return below, on, above
+
+    def prune_redundant(self) -> "ConvexPolytope":
+        """Drop stored halfspaces that are not tight at any vertex.
+
+        For a bounded, full-dimensional polytope every true facet is tight at
+        at least ``dimension`` vertices; halfspaces tight at no vertex are
+        certainly redundant and removing them keeps the representation small
+        as splits accumulate constraints.
+        """
+        verts = self.vertices
+        if verts.shape[0] == 0:
+            return self
+        incidence = vertex_facet_incidence(verts, self._A, self._b, self._tol)
+        tight_counts = incidence.sum(axis=0)
+        keep = tight_counts >= 1
+        if np.all(keep):
+            return self
+        return ConvexPolytope(self._A[keep], self._b[keep], vertices=verts, tol=self._tol)
+
+    def sample(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n_samples`` points from the polytope by rejection inside its bounding box.
+
+        Falls back to convex combinations of vertices when rejection sampling
+        is too wasteful (thin polytopes).  Used by the sampling verifier and
+        by the documentation examples; not on the hot path of the solvers.
+        """
+        lower, upper = self.bounding_box()
+        samples = []
+        attempts = 0
+        max_attempts = max(10_000, 200 * n_samples)
+        while len(samples) < n_samples and attempts < max_attempts:
+            batch = rng.uniform(lower, upper, size=(max(64, n_samples), self.dimension))
+            inside = self.contains_many(batch)
+            for row in batch[inside]:
+                samples.append(row)
+                if len(samples) >= n_samples:
+                    break
+            attempts += batch.shape[0]
+        while len(samples) < n_samples:
+            weights = rng.dirichlet(np.ones(self.n_vertices))
+            samples.append(weights @ self.vertices)
+        return np.asarray(samples[:n_samples])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ConvexPolytope(dim={self.dimension}, constraints={self.n_constraints}, "
+            f"radius={self.chebyshev_radius:.3g})"
+        )
+
+
+def merge_vertex_sets(vertex_sets: Iterable[np.ndarray], tol: Tolerance = DEFAULT_TOL) -> np.ndarray:
+    """Union several vertex arrays, removing duplicates (used to build ``V_all``)."""
+    arrays = [np.atleast_2d(np.asarray(v, dtype=float)) for v in vertex_sets if np.size(v)]
+    if not arrays:
+        return np.empty((0, 0))
+    stacked = np.vstack(arrays)
+    return deduplicate_points(stacked, tol=tol)

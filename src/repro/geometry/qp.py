@@ -1,0 +1,154 @@
+"""Quadratic programming over polytopes for cost-optimal option placement.
+
+The paper's applications (Section 1 and the case study of Section 6.2) need
+two quadratic programs once the TopRR region ``oR`` is known:
+
+* *option creation*: minimise a manufacturing cost that is monotonic in the
+  attribute values — the paper's example uses the summed squares
+  ``cost(o) = sum_j o[j]^2`` — subject to ``o`` lying in ``oR``;
+* *option enhancement*: minimise the Euclidean modification distance
+  ``||o - p_i||`` between an existing option ``p_i`` and its revamped version,
+  again subject to the revamped option lying in ``oR``.
+
+Both are instances of minimising ``(x - target)' H (x - target)`` over a
+polytope with ``H`` positive definite (identity in the paper's cost models).
+We solve them with SLSQP started from the Chebyshev centre and validate the
+result against the constraints; an exact projected fallback handles the
+trivial case where the unconstrained minimiser is already feasible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.exceptions import InfeasibleProblemError
+from repro.geometry.chebyshev import chebyshev_center
+from repro.geometry.polytope import ConvexPolytope
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+
+def _solve_qp(
+    A: np.ndarray,
+    b: np.ndarray,
+    target: np.ndarray,
+    weights: Optional[np.ndarray],
+    tol: Tolerance,
+) -> np.ndarray:
+    """Minimise ``sum_j weights[j] * (x[j] - target[j])^2`` s.t. ``A x <= b``."""
+    dim = A.shape[1]
+    if weights is None:
+        weights = np.ones(dim)
+    weights = np.asarray(weights, dtype=float)
+    if np.any(weights <= 0):
+        raise ValueError("quadratic cost weights must be strictly positive")
+
+    # If the unconstrained optimum is already feasible we are done.
+    if np.all(A @ target - b <= tol.geometry):
+        return target.copy()
+
+    centre, radius = chebyshev_center(A, b)
+    if centre is None or radius < -tol.geometry:
+        raise InfeasibleProblemError("placement region is empty")
+    x0 = centre
+
+    def objective(x: np.ndarray) -> float:
+        diff = x - target
+        return float(np.dot(weights * diff, diff))
+
+    def gradient(x: np.ndarray) -> np.ndarray:
+        return 2.0 * weights * (x - target)
+
+    constraints = [
+        {
+            "type": "ineq",
+            "fun": lambda x, A=A, b=b: b - A @ x,
+            "jac": lambda x, A=A: -A,
+        }
+    ]
+    result = minimize(
+        objective,
+        x0,
+        jac=gradient,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": 500, "ftol": 1e-12},
+    )
+    if not result.success:
+        # Retry from a slightly perturbed start before giving up.
+        result = minimize(
+            objective,
+            x0 + 1e-6,
+            jac=gradient,
+            constraints=constraints,
+            method="SLSQP",
+            options={"maxiter": 2000, "ftol": 1e-12},
+        )
+    if not result.success:
+        raise InfeasibleProblemError(f"quadratic program failed to converge: {result.message}")
+    x = np.asarray(result.x, dtype=float)
+    # Clip tiny constraint violations introduced by the solver.
+    violation = np.max(A @ x - b)
+    if violation > 1e-6:
+        raise InfeasibleProblemError(
+            f"quadratic program returned an infeasible point (violation {violation:.2e})"
+        )
+    return x
+
+
+def project_point_onto_polytope(
+    point: Sequence[float],
+    polytope: ConvexPolytope,
+    tol: Tolerance = DEFAULT_TOL,
+) -> np.ndarray:
+    """Euclidean projection of ``point`` onto ``polytope``.
+
+    This is the *option enhancement* primitive: the cheapest revamp of an
+    existing option so that it enters the TopRR region, when the modification
+    cost is proportional to the Euclidean distance moved.
+    """
+    A, b = polytope.halfspaces
+    target = np.asarray(point, dtype=float)
+    return _solve_qp(A, b, target, weights=None, tol=tol)
+
+
+def minimize_quadratic_cost(
+    polytope: ConvexPolytope,
+    weights: Optional[Sequence[float]] = None,
+    target: Optional[Sequence[float]] = None,
+    tol: Tolerance = DEFAULT_TOL,
+) -> np.ndarray:
+    """Minimise a separable quadratic cost over ``polytope``.
+
+    Parameters
+    ----------
+    polytope:
+        Feasible region (typically the TopRR output ``oR`` intersected with
+        the option-space box).
+    weights:
+        Positive per-attribute cost weights; defaults to all ones, i.e. the
+        paper's ``sum of squared attribute values`` manufacturing cost.
+    target:
+        Cost is measured as squared distance from this point; defaults to the
+        origin (so the cost is exactly the summed squares of the attributes).
+
+    Returns
+    -------
+    The cost-optimal placement as a 1-D array.
+    """
+    A, b = polytope.halfspaces
+    dim = polytope.dimension
+    target_arr = np.zeros(dim) if target is None else np.asarray(target, dtype=float)
+    weight_arr = None if weights is None else np.asarray(weights, dtype=float)
+    return _solve_qp(A, b, target_arr, weights=weight_arr, tol=tol)
+
+
+def quadratic_cost(point: Sequence[float], weights: Optional[Sequence[float]] = None) -> float:
+    """The paper's manufacturing-cost model: weighted sum of squared attribute values."""
+    point = np.asarray(point, dtype=float)
+    if weights is None:
+        return float(np.dot(point, point))
+    weights = np.asarray(weights, dtype=float)
+    return float(np.dot(weights * point, point))

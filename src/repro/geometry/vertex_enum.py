@@ -1,0 +1,145 @@
+"""Vertex enumeration: from an H-representation ``A x <= b`` to the vertex set.
+
+The general-dimension path delegates to qhull through
+:class:`scipy.spatial.HalfspaceIntersection`, exactly as the paper's C++
+implementation calls the qhull library.  A dedicated 1-D fast path covers the
+interval polytopes that arise for 2-attribute datasets (where the preference
+space is one-dimensional, as in the paper's running example).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.spatial import HalfspaceIntersection, QhullError
+
+from repro.exceptions import DegeneratePolytopeError, EmptyRegionError
+from repro.geometry.chebyshev import chebyshev_center
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+
+def deduplicate_points(points: np.ndarray, tol: Tolerance = DEFAULT_TOL) -> np.ndarray:
+    """Remove (near-)duplicate rows from an ``(n, d)`` point array.
+
+    Points are snapped onto a grid of pitch ``tol.dedup`` for hashing, then
+    one representative (the original, un-snapped coordinates) is kept per
+    grid cell.  Deterministic: representatives are chosen in row order.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.size == 0:
+        return points.reshape(0, points.shape[1] if points.ndim == 2 else 0)
+    keys = np.round(points / tol.dedup).astype(np.int64)
+    seen: set[tuple] = set()
+    keep_rows = []
+    for i, key in enumerate(map(tuple, keys)):
+        if key not in seen:
+            seen.add(key)
+            keep_rows.append(i)
+    return points[keep_rows]
+
+
+def _enumerate_1d(A: np.ndarray, b: np.ndarray, tol: Tolerance) -> np.ndarray:
+    """Vertex enumeration for 1-D polytopes (closed intervals)."""
+    lower = -np.inf
+    upper = np.inf
+    for coeff, rhs in zip(A[:, 0], b):
+        if coeff > tol.geometry:
+            upper = min(upper, rhs / coeff)
+        elif coeff < -tol.geometry:
+            lower = max(lower, rhs / coeff)
+        elif rhs < -tol.geometry:
+            return np.empty((0, 1))
+    if not np.isfinite(lower) or not np.isfinite(upper):
+        raise DegeneratePolytopeError("1-D polytope is unbounded")
+    if lower > upper + tol.geometry:
+        return np.empty((0, 1))
+    if abs(upper - lower) <= tol.dedup:
+        return np.array([[0.5 * (lower + upper)]])
+    return np.array([[lower], [upper]])
+
+
+def enumerate_vertices(
+    A: np.ndarray,
+    b: np.ndarray,
+    interior_point: Optional[np.ndarray] = None,
+    tol: Tolerance = DEFAULT_TOL,
+) -> np.ndarray:
+    """Enumerate the vertices of the polytope ``{x : A x <= b}``.
+
+    Parameters
+    ----------
+    A, b:
+        H-representation of the polytope.  The polytope must be bounded.
+    interior_point:
+        Optional strictly interior point.  When omitted, the Chebyshev centre
+        is computed; if its radius is (numerically) zero the polytope is
+        degenerate and :class:`DegeneratePolytopeError` is raised, and if it
+        is infeasible :class:`EmptyRegionError` is raised.
+    tol:
+        Tolerance bundle for deduplication and the 1-D fast path.
+
+    Returns
+    -------
+    ``(m, d)`` array of vertices (order unspecified, duplicates removed).
+    """
+    A = np.asarray(A, dtype=float)
+    b = np.asarray(b, dtype=float)
+    dim = A.shape[1]
+
+    if dim == 1:
+        return _enumerate_1d(A, b, tol)
+
+    if interior_point is None:
+        center, radius = chebyshev_center(A, b)
+        if center is None:
+            raise EmptyRegionError("polytope is empty; cannot enumerate vertices")
+        if radius <= tol.radius:
+            raise DegeneratePolytopeError(
+                "polytope is lower-dimensional; vertex enumeration via qhull needs "
+                "a full-dimensional body"
+            )
+        interior_point = center
+
+    halfspaces = np.hstack([A, -b[:, None]])
+    try:
+        hs = HalfspaceIntersection(halfspaces, np.asarray(interior_point, dtype=float))
+    except QhullError as exc:  # pragma: no cover - depends on qhull internals
+        raise DegeneratePolytopeError(f"qhull failed on halfspace intersection: {exc}") from exc
+    vertices = np.asarray(hs.intersections, dtype=float)
+    vertices = vertices[np.all(np.isfinite(vertices), axis=1)]
+    return deduplicate_points(vertices, tol=tol)
+
+
+def vertex_facet_incidence(
+    vertices: np.ndarray,
+    A: np.ndarray,
+    b: np.ndarray,
+    tol: Tolerance = DEFAULT_TOL,
+) -> np.ndarray:
+    """Boolean matrix ``I`` with ``I[i, j]`` true when vertex ``i`` lies on facet ``j``.
+
+    This realises the paper's facet-based representation: each facet
+    (bounding halfspace) is augmented with the defining vertices that lie on
+    it (Section 4.2.2, Figure 4).
+    """
+    vertices = np.asarray(vertices, dtype=float)
+    A = np.asarray(A, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if vertices.size == 0:
+        return np.zeros((0, A.shape[0]), dtype=bool)
+    slack = b[None, :] - vertices @ A.T
+    scale = np.maximum(1.0, np.abs(b))[None, :]
+    return np.abs(slack) <= tol.dedup * scale
+
+
+def enumerate_box_vertices(lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
+    """All ``2^d`` corners of the axis-aligned box ``[lower, upper]``."""
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    dim = lower.shape[0]
+    corners = np.empty((2**dim, dim))
+    for i in range(2**dim):
+        for j in range(dim):
+            corners[i, j] = upper[j] if (i >> j) & 1 else lower[j]
+    return corners

@@ -1,0 +1,54 @@
+"""Volume estimation helpers for convex polytopes.
+
+Exact volumes (via qhull convex hulls of the vertex set) are used for small
+dimensions; a Monte-Carlo estimator over the bounding box provides a
+cross-check and covers degenerate cases.  Volumes are used in tests (e.g. to
+assert that the TopRR region shrinks monotonically as ``k`` decreases) and in
+the sensitivity-style reporting of the experiment harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.polytope import ConvexPolytope
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def exact_volume(polytope: ConvexPolytope) -> float:
+    """Exact volume of the polytope (0.0 when empty or lower-dimensional)."""
+    return polytope.volume()
+
+
+def monte_carlo_volume(
+    polytope: ConvexPolytope,
+    n_samples: int = 20_000,
+    rng: RngLike = None,
+) -> float:
+    """Monte-Carlo estimate of the polytope volume.
+
+    Samples uniformly in the bounding box of the vertex set and multiplies
+    the hit rate by the box volume.  Returns 0.0 for empty polytopes.
+    """
+    if polytope.is_empty():
+        return 0.0
+    rng = ensure_rng(rng)
+    try:
+        lower, upper = polytope.bounding_box()
+    except Exception:
+        return 0.0
+    extent = upper - lower
+    box_volume = float(np.prod(np.where(extent > 0, extent, 1.0)))
+    if box_volume == 0.0:
+        return 0.0
+    points = rng.uniform(lower, upper, size=(n_samples, polytope.dimension))
+    hits = polytope.contains_many(points)
+    return box_volume * float(np.count_nonzero(hits)) / float(n_samples)
+
+
+def relative_volume(inner: ConvexPolytope, outer: ConvexPolytope) -> float:
+    """Ratio ``vol(inner) / vol(outer)``; 0.0 when the outer volume vanishes."""
+    outer_volume = outer.volume()
+    if outer_volume <= 0.0:
+        return 0.0
+    return inner.volume() / outer_volume

@@ -1,0 +1,19 @@
+"""Spatial access methods.
+
+The top-k and skyline literature the paper builds on ([34], [42]) assumes the
+option dataset is indexed by a spatial access method so that branch-and-bound
+algorithms can prune whole subtrees.  This package provides that substrate:
+
+* :class:`~repro.index.rtree.RTree` — a packed (STR bulk-loaded) R-tree over
+  the option points, with rectangle queries and best-first traversal, and
+* :class:`~repro.index.rtree.BoundingBox` — the minimum bounding rectangles
+  the tree is made of.
+
+The tree is deliberately simple (static, bulk-loaded) because every workload
+in the paper's evaluation operates on a fixed dataset; insertion/deletion
+balancing machinery would be dead weight here.
+"""
+
+from repro.index.rtree import BoundingBox, RTree, RTreeNode
+
+__all__ = ["BoundingBox", "RTree", "RTreeNode"]

@@ -1,0 +1,323 @@
+"""A packed R-tree over option points.
+
+The tree is bulk-loaded with the Sort-Tile-Recursive (STR) strategy: points
+are sorted and tiled dimension by dimension so that every leaf holds a
+spatially compact group of points and the tree is perfectly balanced.  This
+is the standard way to index a *static* dataset, which is exactly the setting
+of every experiment in the paper (the dataset never changes during a TopRR
+query).
+
+Two traversal primitives cover everything the higher layers need:
+
+* :meth:`RTree.range_query` — all points inside an axis-aligned rectangle,
+* :meth:`RTree.best_first` — nodes/points in decreasing order of an upper
+  bound computed from the node's bounding box, which is the engine behind
+  branch-and-bound top-k (:mod:`repro.topk.branch_and_bound`) and the BBS
+  skyline/k-skyband algorithms (:mod:`repro.skyline.bbs`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned minimum bounding rectangle (MBR).
+
+    Attributes
+    ----------
+    lower:
+        Component-wise minimum corner, shape ``(d,)``.
+    upper:
+        Component-wise maximum corner, shape ``(d,)``.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    @classmethod
+    def of_points(cls, points: np.ndarray) -> "BoundingBox":
+        """The tightest box enclosing all rows of ``points``."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise InvalidParameterError("bounding box requires a non-empty (n, d) point matrix")
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    @classmethod
+    def of_boxes(cls, boxes: Sequence["BoundingBox"]) -> "BoundingBox":
+        """The tightest box enclosing a collection of boxes."""
+        if not boxes:
+            raise InvalidParameterError("bounding box requires at least one child box")
+        lower = np.min([box.lower for box in boxes], axis=0)
+        upper = np.max([box.upper for box in boxes], axis=0)
+        return cls(lower, upper)
+
+    @property
+    def dimension(self) -> int:
+        """Number of coordinates."""
+        return int(self.lower.shape[0])
+
+    @property
+    def top_corner(self) -> np.ndarray:
+        """The corner with the maximum value in every attribute.
+
+        For "larger is better" attributes this corner upper-bounds the score
+        of any point in the box under any non-negative weight vector, and is
+        the corner dominance-based pruning reasons about.
+        """
+        return self.upper
+
+    @property
+    def bottom_corner(self) -> np.ndarray:
+        """The corner with the minimum value in every attribute."""
+        return self.lower
+
+    def contains_point(self, point: Sequence[float], eps: float = 0.0) -> bool:
+        """True if ``point`` lies inside the box (within ``eps``)."""
+        point = np.asarray(point, dtype=float)
+        return bool(np.all(point >= self.lower - eps) and np.all(point <= self.upper + eps))
+
+    def intersects(self, other: "BoundingBox", eps: float = 0.0) -> bool:
+        """True if the two boxes overlap (within ``eps``)."""
+        return bool(
+            np.all(self.lower <= other.upper + eps) and np.all(other.lower <= self.upper + eps)
+        )
+
+    def max_score(self, weight: Sequence[float]) -> float:
+        """Upper bound of ``w . p`` over points ``p`` in the box, for non-negative ``w``."""
+        weight = np.asarray(weight, dtype=float)
+        return float(weight @ self.upper)
+
+    def min_score(self, weight: Sequence[float]) -> float:
+        """Lower bound of ``w . p`` over points ``p`` in the box, for non-negative ``w``."""
+        weight = np.asarray(weight, dtype=float)
+        return float(weight @ self.lower)
+
+    def volume(self) -> float:
+        """Product of the side lengths."""
+        return float(np.prod(np.maximum(self.upper - self.lower, 0.0)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"BoundingBox(lower={self.lower.tolist()}, upper={self.upper.tolist()})"
+
+
+@dataclass
+class RTreeNode:
+    """One node of the packed R-tree.
+
+    Leaf nodes carry the positional indices of the points they store;
+    internal nodes carry their child nodes.  Every node knows its MBR.
+    """
+
+    box: BoundingBox
+    children: List["RTreeNode"] = field(default_factory=list)
+    point_indices: Optional[np.ndarray] = None
+    level: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for leaf nodes (which hold point indices, not children)."""
+        return self.point_indices is not None
+
+    def n_entries(self) -> int:
+        """Number of children (internal node) or stored points (leaf)."""
+        if self.is_leaf:
+            return int(self.point_indices.shape[0])
+        return len(self.children)
+
+
+def _str_tile(points: np.ndarray, indices: np.ndarray, leaf_capacity: int) -> List[np.ndarray]:
+    """Partition ``indices`` into spatially compact groups of size <= ``leaf_capacity``.
+
+    Implements the Sort-Tile-Recursive sweep: sort by the first coordinate,
+    cut into vertical slabs, then recurse on the remaining coordinates inside
+    each slab.  The recursion bottoms out when a group fits in one leaf or
+    when there are no more coordinates to refine on.
+    """
+    def tile(group: np.ndarray, axis: int) -> List[np.ndarray]:
+        if group.shape[0] <= leaf_capacity:
+            return [group]
+        if axis >= points.shape[1] - 1:
+            # Last axis: simple consecutive chunks after sorting on it.
+            order = group[np.argsort(points[group, axis], kind="stable")]
+            return [
+                order[start:start + leaf_capacity]
+                for start in range(0, order.shape[0], leaf_capacity)
+            ]
+        n_group = group.shape[0]
+        n_leaves = int(np.ceil(n_group / leaf_capacity))
+        n_slabs = int(np.ceil(n_leaves ** (1.0 / (points.shape[1] - axis))))
+        slab_size = int(np.ceil(n_group / n_slabs)) if n_slabs > 0 else n_group
+        order = group[np.argsort(points[group, axis], kind="stable")]
+        slabs = [order[start:start + slab_size] for start in range(0, n_group, slab_size)]
+        tiles: List[np.ndarray] = []
+        for slab in slabs:
+            tiles.extend(tile(slab, axis + 1))
+        return tiles
+
+    return tile(indices, 0)
+
+
+class RTree:
+    """A static, STR bulk-loaded R-tree over a point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` matrix of points to index.
+    leaf_capacity:
+        Maximum number of points per leaf.
+    fanout:
+        Maximum number of children per internal node.
+    """
+
+    def __init__(self, points, leaf_capacity: int = 32, fanout: int = 16):
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise DimensionMismatchError(f"points must be an (n, d) matrix, got {points.shape}")
+        if points.shape[0] == 0:
+            raise InvalidParameterError("cannot build an R-tree over an empty point set")
+        if leaf_capacity < 1 or fanout < 2:
+            raise InvalidParameterError("leaf_capacity must be >= 1 and fanout >= 2")
+        self._points = points
+        self.leaf_capacity = int(leaf_capacity)
+        self.fanout = int(fanout)
+        self.root = self._bulk_load()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _bulk_load(self) -> RTreeNode:
+        all_indices = np.arange(self._points.shape[0])
+        groups = _str_tile(self._points, all_indices, self.leaf_capacity)
+        nodes = [
+            RTreeNode(
+                box=BoundingBox.of_points(self._points[group]),
+                point_indices=np.asarray(group, dtype=int),
+                level=0,
+            )
+            for group in groups
+        ]
+        level = 0
+        while len(nodes) > 1:
+            level += 1
+            parents: List[RTreeNode] = []
+            # Pack children in their tiling order so siblings stay spatially close.
+            for start in range(0, len(nodes), self.fanout):
+                children = nodes[start:start + self.fanout]
+                parents.append(
+                    RTreeNode(
+                        box=BoundingBox.of_boxes([child.box for child in children]),
+                        children=children,
+                        level=level,
+                    )
+                )
+            nodes = parents
+        return nodes[0]
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed point matrix (treat as read-only)."""
+        return self._points
+
+    @property
+    def n_points(self) -> int:
+        """Number of indexed points."""
+        return int(self._points.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the indexed points."""
+        return int(self._points.shape[1])
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a single-leaf tree)."""
+        return self.root.level + 1
+
+    def iter_nodes(self) -> Iterator[RTreeNode]:
+        """Depth-first iterator over all nodes (used by tests and statistics)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.children)
+
+    def node_count(self) -> int:
+        """Total number of nodes in the tree."""
+        return sum(1 for _ in self.iter_nodes())
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def range_query(self, lower: Sequence[float], upper: Sequence[float]) -> np.ndarray:
+        """Indices of all points inside the box ``[lower, upper]`` (inclusive)."""
+        lower = np.asarray(lower, dtype=float)
+        upper = np.asarray(upper, dtype=float)
+        if lower.shape != (self.dimension,) or upper.shape != (self.dimension,):
+            raise DimensionMismatchError("query box must match the index dimensionality")
+        query = BoundingBox(lower, upper)
+        found: List[np.ndarray] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(query):
+                continue
+            if node.is_leaf:
+                pts = self._points[node.point_indices]
+                inside = np.all((pts >= lower) & (pts <= upper), axis=1)
+                if np.any(inside):
+                    found.append(node.point_indices[inside])
+            else:
+                stack.extend(node.children)
+        if not found:
+            return np.empty(0, dtype=int)
+        return np.sort(np.concatenate(found))
+
+    def best_first(
+        self,
+        node_key: Callable[[BoundingBox], float],
+        point_key: Callable[[np.ndarray], float],
+    ) -> Iterator[Tuple[float, int]]:
+        """Yield ``(key, point_index)`` pairs in decreasing ``point_key`` order.
+
+        ``node_key`` must upper-bound ``point_key`` over every point inside a
+        node's box; the traversal then never yields a point out of order, so
+        callers can stop as soon as they have seen enough entries.  This is
+        the classic best-first (priority-queue) traversal used by
+        branch-and-bound top-k and nearest-neighbour algorithms.
+        """
+        counter = itertools.count()
+        heap: List[Tuple[float, int, bool, object]] = []
+        heapq.heappush(heap, (-node_key(self.root.box), next(counter), False, self.root))
+        while heap:
+            negative_key, _, is_point, payload = heapq.heappop(heap)
+            if is_point:
+                yield -negative_key, int(payload)
+                continue
+            node: RTreeNode = payload
+            if node.is_leaf:
+                for index in node.point_indices:
+                    key = point_key(self._points[index])
+                    heapq.heappush(heap, (-key, next(counter), True, int(index)))
+            else:
+                for child in node.children:
+                    heapq.heappush(heap, (-node_key(child.box), next(counter), False, child))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"RTree(n={self.n_points}, d={self.dimension}, height={self.height}, "
+            f"leaf_capacity={self.leaf_capacity}, fanout={self.fanout})"
+        )

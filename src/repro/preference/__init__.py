@@ -1,0 +1,12 @@
+"""Preference-space substrate: reduced weight parameterisation and preference regions."""
+
+from repro.preference.region import PreferenceRegion
+from repro.preference.space import PreferenceSpace
+from repro.preference.random_regions import random_hypercube_region, random_elongated_region
+
+__all__ = [
+    "PreferenceSpace",
+    "PreferenceRegion",
+    "random_hypercube_region",
+    "random_elongated_region",
+]

@@ -1,0 +1,116 @@
+"""Random preference-region generators used by the experiment harness.
+
+The paper's experiments generate ``wR`` as a random axis-aligned hyper-cube
+whose side length is a fraction ``sigma`` of the preference-space axes
+(Table 5), and additionally study elongated hyper-rectangles whose volume is
+kept constant while one side is stretched by a factor ``gamma`` (Table 7).
+Regions are always placed inside the valid weight simplex so that every
+vertex corresponds to a non-negative, normalised weight vector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.preference.region import PreferenceRegion
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _place_box(
+    rng: np.random.Generator,
+    side_lengths: np.ndarray,
+    max_tries: int = 10_000,
+) -> List[Tuple[float, float]]:
+    """Place a box with the given side lengths uniformly inside the weight simplex."""
+    dim = side_lengths.shape[0]
+    if np.any(side_lengths <= 0) or np.any(side_lengths > 1):
+        raise InvalidParameterError("side lengths must lie in (0, 1]")
+    for _ in range(max_tries):
+        lower = rng.uniform(0.0, 1.0 - side_lengths, size=dim)
+        upper = lower + side_lengths
+        # The whole box must stay in the simplex: the corner with maximal
+        # coordinates must still satisfy sum(w) <= 1.
+        if upper.sum() <= 1.0:
+            return list(zip(lower.tolist(), upper.tolist()))
+    # Fall back to anchoring the box at the barycentre scaled down: always valid
+    # because the barycentre has coordinate sum (d-1)/d < 1.
+    centre = np.full(dim, 1.0 / (dim + 1))
+    lower = np.maximum(centre - side_lengths / 2.0, 0.0)
+    upper = lower + side_lengths
+    if upper.sum() > 1.0:
+        shrink = (1.0 - lower.sum()) / max(side_lengths.sum(), 1e-12)
+        upper = lower + side_lengths * min(1.0, shrink)
+    return list(zip(lower.tolist(), upper.tolist()))
+
+
+def random_hypercube_region(
+    n_attributes: int,
+    side_length: float,
+    rng: RngLike = None,
+) -> PreferenceRegion:
+    """A random hyper-cubic ``wR`` of the given side length (the paper's ``sigma``).
+
+    Parameters
+    ----------
+    n_attributes:
+        Number of option attributes ``d`` (the region lives in ``d - 1`` dims).
+    side_length:
+        Side length as an absolute fraction of the unit preference axes,
+        e.g. 0.01 for the paper's default ``sigma = 1%``.
+    """
+    if not 0 < side_length <= 1:
+        raise InvalidParameterError(f"side_length must be in (0, 1], got {side_length}")
+    rng = ensure_rng(rng)
+    dim = n_attributes - 1
+    sides = np.full(dim, float(side_length))
+    intervals = _place_box(rng, sides)
+    return PreferenceRegion.hyperrectangle(intervals)
+
+
+def random_elongated_region(
+    n_attributes: int,
+    side_length: float,
+    gamma: float,
+    rng: RngLike = None,
+) -> PreferenceRegion:
+    """A random hyper-rectangle with one side stretched by ``gamma`` at constant volume.
+
+    One randomly chosen axis gets side ``gamma * side_length``; the remaining
+    axes are shrunk uniformly so that the total volume equals that of the
+    hyper-cube with side ``side_length`` (this is the Table 7 workload).
+    """
+    if gamma <= 0:
+        raise InvalidParameterError(f"gamma must be positive, got {gamma}")
+    rng = ensure_rng(rng)
+    dim = n_attributes - 1
+    sides = np.full(dim, float(side_length))
+    if dim == 1:
+        # With a single axis the volume constraint forces the original length.
+        intervals = _place_box(rng, sides)
+        return PreferenceRegion.hyperrectangle(intervals)
+    stretched_axis = int(rng.integers(dim))
+    sides[stretched_axis] = min(gamma * side_length, 1.0)
+    # Equal-volume adjustment of the remaining axes.
+    remaining = [axis for axis in range(dim) if axis != stretched_axis]
+    target_volume = float(side_length) ** dim
+    other_side = (target_volume / sides[stretched_axis]) ** (1.0 / len(remaining))
+    for axis in remaining:
+        sides[axis] = min(other_side, 1.0)
+    intervals = _place_box(rng, sides)
+    return PreferenceRegion.hyperrectangle(intervals)
+
+
+def centred_hypercube_region(n_attributes: int, side_length: float) -> PreferenceRegion:
+    """A deterministic hyper-cube centred at the barycentre (useful for tests/examples)."""
+    if not 0 < side_length <= 1:
+        raise InvalidParameterError(f"side_length must be in (0, 1], got {side_length}")
+    dim = n_attributes - 1
+    centre = np.full(dim, 1.0 / n_attributes)
+    lower = np.clip(centre - side_length / 2.0, 0.0, 1.0)
+    upper = np.clip(centre + side_length / 2.0, 0.0, 1.0)
+    if upper.sum() > 1.0:
+        upper = lower + (1.0 - lower.sum()) * (upper - lower) / max((upper - lower).sum(), 1e-12)
+    return PreferenceRegion.hyperrectangle(list(zip(lower.tolist(), upper.tolist())))

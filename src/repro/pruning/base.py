@@ -1,0 +1,89 @@
+"""Common interface for the four candidate pre-filters of Section 6.3.
+
+Each filter receives the dataset, ``k``, and (for the region-aware filters)
+the preference region, and returns the positional indices of the options it
+retains, plus bookkeeping that the Figure 8 experiment reports (retained
+size, wall-clock time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.preference.region import PreferenceRegion
+from repro.utils.timer import Timer
+
+#: Filter labels accepted by :func:`apply_filter`, matching the paper's Figure 8.
+FILTER_NAMES = ("k-skyband", "k-onion", "r-skyband", "utk")
+
+
+@dataclass(frozen=True)
+class FilterResult:
+    """Outcome of running one pre-filter.
+
+    Attributes
+    ----------
+    name:
+        Filter label (one of :data:`FILTER_NAMES`).
+    indices:
+        Positional indices of the retained options ``D'``.
+    retained:
+        ``len(indices)``.
+    seconds:
+        Wall-clock time the filter took.
+    """
+
+    name: str
+    indices: np.ndarray
+    retained: int
+    seconds: float
+
+    def subset(self, dataset: Dataset) -> Dataset:
+        """The filtered dataset ``D'`` as a :class:`Dataset`."""
+        return dataset.subset(self.indices, name=f"{dataset.name}[{self.name}]")
+
+
+def apply_filter(
+    name: str,
+    dataset: Dataset,
+    k: int,
+    region: Optional[PreferenceRegion] = None,
+) -> FilterResult:
+    """Run the pre-filter called ``name`` and measure it.
+
+    ``k-skyband`` and ``k-onion`` ignore the preference region (they offer a
+    guarantee for *every* weight vector); ``r-skyband`` and ``utk`` require
+    the region.
+    """
+    label = name.lower()
+    timer = Timer().start()
+    if label in ("k-skyband", "skyband"):
+        from repro.topk.skyband import k_skyband
+
+        indices = k_skyband(dataset, k)
+    elif label in ("k-onion", "onion", "k-onion layers"):
+        from repro.topk.onion import k_onion_layers
+
+        indices = k_onion_layers(dataset, k)
+    elif label in ("r-skyband", "rskyband"):
+        if region is None:
+            raise InvalidParameterError("the r-skyband filter requires a preference region")
+        from repro.pruning.rskyband import r_skyband
+
+        indices = r_skyband(dataset, k, region)
+    elif label == "utk":
+        if region is None:
+            raise InvalidParameterError("the UTK filter requires a preference region")
+        from repro.pruning.utk_filter import utk_filter
+
+        indices = utk_filter(dataset, k, region)
+    else:
+        raise InvalidParameterError(f"unknown filter {name!r}; expected one of {FILTER_NAMES}")
+    seconds = timer.stop()
+    indices = np.asarray(indices, dtype=int)
+    return FilterResult(name=label, indices=indices, retained=int(indices.size), seconds=seconds)

@@ -1,0 +1,62 @@
+"""Side-by-side comparison of the pre-filters (the Figure 8 experiment).
+
+The paper compares the four candidate filters by the number of retained
+options versus computation time, both normalised to the maximum observed, to
+argue that the r-skyband offers the best trade-off.  :func:`compare_filters`
+runs all (requested) filters on the same instance and returns the raw and
+normalised measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.data.dataset import Dataset
+from repro.preference.region import PreferenceRegion
+from repro.pruning.base import FILTER_NAMES, FilterResult, apply_filter
+
+
+@dataclass(frozen=True)
+class FilterComparison:
+    """Aggregated outcome of the filter comparison experiment."""
+
+    results: Dict[str, FilterResult]
+
+    def normalized(self) -> Dict[str, Dict[str, float]]:
+        """Sizes and times scaled by the maximum over filters (the Figure 8 axes)."""
+        max_retained = max(result.retained for result in self.results.values()) or 1
+        max_seconds = max(result.seconds for result in self.results.values()) or 1.0
+        return {
+            name: {
+                "retained": result.retained / max_retained,
+                "seconds": result.seconds / max_seconds,
+            }
+            for name, result in self.results.items()
+        }
+
+    def rows(self) -> list[dict]:
+        """Flat per-filter rows for tabular reporting."""
+        normalized = self.normalized()
+        return [
+            {
+                "filter": name,
+                "retained": result.retained,
+                "seconds": result.seconds,
+                "retained_norm": normalized[name]["retained"],
+                "seconds_norm": normalized[name]["seconds"],
+            }
+            for name, result in self.results.items()
+        ]
+
+
+def compare_filters(
+    dataset: Dataset,
+    k: int,
+    region: PreferenceRegion,
+    filters: Optional[Sequence[str]] = None,
+) -> FilterComparison:
+    """Run the requested pre-filters on one TopRR instance and collect the trade-offs."""
+    names = list(filters) if filters is not None else list(FILTER_NAMES)
+    results = {name: apply_filter(name, dataset, k, region) for name in names}
+    return FilterComparison(results=results)

@@ -1,0 +1,37 @@
+"""The exact UTK pre-filter (Section 6.3, Figure 8).
+
+UTK reports *exactly* the options that appear in the top-k result of some
+weight vector inside the preference region — the tightest possible ``D'``.
+The price is the cost of a full UTK partitioning, which the paper measures
+to be about twice as expensive as the r-skyband filter; this is why the
+r-skyband is ultimately chosen as the TopRR pre-filter.
+
+The implementation first shrinks the dataset with the r-skyband (a strict
+superset of the UTK output, so this loses nothing) and then runs the
+anchor-based UTK partitioner on the survivors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.utk import possible_top_k_options
+from repro.data.dataset import Dataset
+from repro.preference.region import PreferenceRegion
+from repro.pruning.rskyband import r_skyband
+from repro.utils.rng import RngLike
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+
+def utk_filter(
+    dataset: Dataset,
+    k: int,
+    region: PreferenceRegion,
+    rng: RngLike = 0,
+    tol: Tolerance = DEFAULT_TOL,
+) -> np.ndarray:
+    """Positional indices (into ``dataset``) of options appearing in some top-k inside ``region``."""
+    candidate_indices = r_skyband(dataset, k, region, tol=tol)
+    candidates = dataset.subset(candidate_indices)
+    local = possible_top_k_options(candidates, k, region, rng=rng, tol=tol)
+    return np.asarray(candidate_indices, dtype=int)[local]

@@ -1,0 +1,49 @@
+"""Related preference-space queries the paper positions TopRR against.
+
+Section 2 of the paper surveys a family of queries that share TopRR's
+machinery (linear scores, preference-space halfspaces, dominance) but answer
+different questions.  This package implements the ones that are either used
+as building blocks, compared against, or needed to validate the TopRR output:
+
+* :mod:`repro.related.reverse_topk` — the monochromatic reverse top-k query
+  (Vlachou et al. [44], Tang et al. [41]): all parts of the preference space
+  where a given option ranks among the top-k; plus the bichromatic variant
+  over a finite set of weight vectors.
+* :mod:`repro.related.maximum_rank` — the maximum-rank query (Mouratidis et
+  al. [31]): the best rank an option can achieve anywhere in a preference
+  region.
+* :mod:`repro.related.why_not` — why-not top-k (He & Lo [21]) and the
+  why-not reverse top-k adaptation (Liu et al. [26]) that Section 2.1
+  discusses as the (inexact) sampled alternative to TopRR.
+* :mod:`repro.related.regret` — regret-minimizing representative sets
+  (Nanongkai et al. [32]), the subset-selection family Section 2.2 relates
+  TopRR to.
+"""
+
+from repro.related.maximum_rank import MaximumRankResult, maximum_rank
+from repro.related.regret import greedy_regret_set, max_regret_ratio
+from repro.related.reverse_topk import (
+    ReverseTopKResult,
+    bichromatic_reverse_top_k,
+    monochromatic_reverse_top_k,
+)
+from repro.related.why_not import (
+    WhyNotOptionAnswer,
+    WhyNotWeightAnswer,
+    why_not_option_modification,
+    why_not_weight_perturbation,
+)
+
+__all__ = [
+    "ReverseTopKResult",
+    "monochromatic_reverse_top_k",
+    "bichromatic_reverse_top_k",
+    "MaximumRankResult",
+    "maximum_rank",
+    "WhyNotOptionAnswer",
+    "WhyNotWeightAnswer",
+    "why_not_option_modification",
+    "why_not_weight_perturbation",
+    "greedy_regret_set",
+    "max_regret_ratio",
+]

@@ -1,0 +1,144 @@
+"""The maximum-rank query (Mouratidis et al. [31]).
+
+Given an option ``q`` and a preference region (by default the whole
+preference space), the query reports the *best* rank ``q`` can achieve for
+any weight vector in the region — a market-impact measure for an existing
+product.  The paper cites it (Section 2.2) as one of the continuous
+preference-space formulations that, unlike TopRR, take the options as given.
+
+The implementation is a branch-and-bound over the preference region: the
+rank of ``q`` inside a convex cell is bracketed by the number of competitors
+beating it at *every* vertex (lower bound, by Lemma 1) and at *some* vertex
+(upper bound).  Cells whose lower bound cannot improve on the best rank seen
+so far are pruned; the rest are split along the score hyperplane of a
+competitor whose order against ``q`` flips inside the cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DegeneratePolytopeError, EmptyRegionError, InvalidParameterError
+from repro.preference.region import PreferenceRegion
+from repro.preference.space import PreferenceSpace
+from repro.related.reverse_topk import _RankWorkingSet, _strictly_swinging, rank_bounds
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+
+@dataclass(frozen=True)
+class MaximumRankResult:
+    """Answer to a maximum-rank query.
+
+    Attributes
+    ----------
+    best_rank:
+        The best (numerically smallest) rank the option achieves anywhere in
+        the query region.
+    witness_reduced:
+        A reduced weight vector attaining that rank.
+    witness_full:
+        The same witness lifted to a full, normalised weight vector.
+    n_regions_tested:
+        Number of cells examined by the branch-and-bound.
+    """
+
+    best_rank: int
+    witness_reduced: np.ndarray
+    witness_full: np.ndarray
+    n_regions_tested: int
+
+
+def _rank_at(working: _RankWorkingSet, reduced_weight: np.ndarray, tol: Tolerance) -> int:
+    """Exact rank of the query option at a single reduced weight vector."""
+    differences = working.score_differences(reduced_weight[None, :])
+    return 1 + int(np.count_nonzero(differences[:, 0] > tol.score))
+
+
+def maximum_rank(
+    dataset: Dataset,
+    option: Sequence[float],
+    region: Optional[PreferenceRegion] = None,
+    exclude_index: Optional[int] = None,
+    max_regions: int = 200_000,
+    tol: Tolerance = DEFAULT_TOL,
+) -> MaximumRankResult:
+    """Best rank ``option`` can achieve for any weight vector in ``region``.
+
+    Parameters
+    ----------
+    dataset:
+        The competitor dataset ``D``.
+    option:
+        The option whose market impact is being assessed.
+    region:
+        Preference region to search (the full preference space when omitted).
+    exclude_index:
+        Positional index of ``option`` inside ``dataset`` when it is an
+        existing option, so it does not compete against itself.
+    max_regions:
+        Safety cap on the branch-and-bound size.
+    """
+    option = np.asarray(option, dtype=float)
+    if option.shape != (dataset.n_attributes,):
+        raise InvalidParameterError(
+            f"option must have {dataset.n_attributes} attributes, got {option.shape}"
+        )
+    if region is None:
+        region = PreferenceRegion.full_simplex(dataset.n_attributes, tol=tol)
+    if region.n_attributes != dataset.n_attributes:
+        raise InvalidParameterError("region and dataset disagree on the number of attributes")
+
+    space = PreferenceSpace(dataset.n_attributes)
+    working = _RankWorkingSet(dataset, option, exclude_index)
+
+    best_rank = dataset.n_options + 1
+    best_witness = region.centroid()
+    n_tested = 0
+    stack: List[PreferenceRegion] = [region]
+
+    while stack:
+        if n_tested >= max_regions:
+            raise RuntimeError(f"maximum rank exceeded the safety cap of {max_regions} regions")
+        current = stack.pop()
+        n_tested += 1
+        try:
+            vertices = current.vertices
+        except (DegeneratePolytopeError, EmptyRegionError):
+            continue
+        if vertices.shape[0] == 0:
+            continue
+
+        bounds = rank_bounds(working, vertices, tol=tol)
+        if bounds.lower >= best_rank:
+            continue
+
+        # The centroid always attains a feasible rank; use it to tighten the
+        # incumbent before deciding whether to split further.
+        centroid = current.centroid()
+        centroid_rank = _rank_at(working, centroid, tol)
+        if centroid_rank < best_rank:
+            best_rank = centroid_rank
+            best_witness = centroid
+
+        if bounds.is_tight or bounds.lower >= best_rank:
+            continue
+
+        competitor = _strictly_swinging(working, vertices, bounds.swing_options, tol)
+        if competitor is None:
+            continue
+        below, above = current.split(working.splitting_hyperplane(competitor))
+        for child in (below, above):
+            if child.is_empty() or not child.is_full_dimensional():
+                continue
+            stack.append(child)
+
+    return MaximumRankResult(
+        best_rank=int(best_rank),
+        witness_reduced=np.asarray(best_witness, dtype=float),
+        witness_full=space.to_full(best_witness),
+        n_regions_tested=n_tested,
+    )

@@ -1,0 +1,130 @@
+"""Regret-minimizing representative sets (Nanongkai et al. [32]).
+
+The paper's related-work discussion (Section 2.2) situates TopRR next to the
+*regret minimizing set* family: pick a small subset of the options such that,
+whatever the user's (linear) preferences turn out to be, the best option in
+the subset scores almost as well as the best option in the full dataset.  The
+**maximum regret ratio** of a subset ``S`` is
+
+    max over weights w of   1 - max_{p in S} S_w(p) / max_{p in D} S_w(p)
+
+and a good representative set keeps it small.  Two standard constructions
+are provided:
+
+* :func:`greedy_regret_set` — the classic greedy heuristic: repeatedly add
+  the option that most reduces the current maximum regret (evaluated on a
+  deterministic grid of witness weights plus the axis directions);
+* :func:`max_regret_ratio` — the evaluation metric itself, computed exactly
+  for a finite witness set and used both by the construction and the tests.
+
+These are substrate-quality implementations meant for comparison and
+validation (e.g. every member of a 1-regret set for k = 1 must have a
+maximum-rank of 1 somewhere), not a reproduction of the specialised regret
+literature.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.preference.region import PreferenceRegion
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _witness_weights(
+    n_attributes: int,
+    n_samples: int,
+    region: Optional[PreferenceRegion],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Full weight vectors used as regret witnesses.
+
+    The axis directions (single-attribute users) are always included because
+    they produce the largest regrets for greedy constructions; the rest are
+    drawn uniformly from ``region`` (or from the whole simplex).
+    """
+    axes = np.eye(n_attributes)
+    if region is None:
+        raw = rng.dirichlet(np.ones(n_attributes), size=n_samples)
+        sampled = raw
+    else:
+        reduced = region.sample_weights(n_samples, rng)
+        sampled = region.space.to_full_many(reduced)
+        axes = axes[:0]  # a restricted region has its own corners among the samples
+    return np.vstack([axes, sampled])
+
+
+def max_regret_ratio(
+    dataset: Dataset,
+    subset_indices: Sequence[int],
+    weights: Optional[np.ndarray] = None,
+    n_witnesses: int = 512,
+    region: Optional[PreferenceRegion] = None,
+    rng: RngLike = 0,
+) -> float:
+    """Maximum regret ratio of ``subset_indices`` over a witness weight set.
+
+    Parameters
+    ----------
+    dataset:
+        The full dataset ``D``.
+    subset_indices:
+        Positional indices of the representative subset ``S``.
+    weights:
+        Explicit ``(m, d)`` witness weights; generated when omitted.
+    n_witnesses, region, rng:
+        Witness generation parameters (ignored when ``weights`` is given).
+    """
+    subset_indices = np.asarray(list(subset_indices), dtype=int)
+    if subset_indices.size == 0:
+        raise InvalidParameterError("the representative subset must not be empty")
+    if weights is None:
+        weights = _witness_weights(
+            dataset.n_attributes, n_witnesses, region, ensure_rng(rng)
+        )
+    all_scores = dataset.values @ weights.T
+    best_overall = all_scores.max(axis=0)
+    best_in_subset = all_scores[subset_indices].max(axis=0)
+    positive = best_overall > 0
+    ratios = np.zeros_like(best_overall)
+    ratios[positive] = 1.0 - best_in_subset[positive] / best_overall[positive]
+    return float(ratios.max(initial=0.0))
+
+
+def greedy_regret_set(
+    dataset: Dataset,
+    size: int,
+    n_witnesses: int = 512,
+    region: Optional[PreferenceRegion] = None,
+    rng: RngLike = 0,
+) -> np.ndarray:
+    """Greedy regret-minimizing subset of ``size`` options.
+
+    The first pick is the option with the best worst-case score ratio on the
+    witness set; each subsequent pick maximally reduces the current maximum
+    regret.  Returns the positional indices of the chosen options, in pick
+    order.
+    """
+    if size <= 0:
+        raise InvalidParameterError(f"size must be positive, got {size}")
+    size = min(int(size), dataset.n_options)
+    weights = _witness_weights(dataset.n_attributes, n_witnesses, region, ensure_rng(rng))
+    all_scores = dataset.values @ weights.T
+    best_overall = np.maximum(all_scores.max(axis=0), 1e-12)
+
+    chosen: List[int] = []
+    covered_best = np.zeros(weights.shape[0])
+    for _ in range(size):
+        # Regret for each candidate, if it were added to the current set.
+        candidate_best = np.maximum(covered_best[None, :], all_scores)
+        regrets = 1.0 - candidate_best / best_overall[None, :]
+        worst = regrets.max(axis=1)
+        worst[chosen] = np.inf  # never re-pick
+        pick = int(np.argmin(worst))
+        chosen.append(pick)
+        covered_best = np.maximum(covered_best, all_scores[pick])
+    return np.asarray(chosen, dtype=int)

@@ -1,0 +1,181 @@
+"""Why-not top-k answers (He & Lo [21]; Liu et al. [26]).
+
+A why-not question arises when an option the analyst expected to see is
+missing from a top-k result.  Two exact remedies are provided, matching the
+two levers the literature considers:
+
+* :func:`why_not_option_modification` — keep the weight vector, improve the
+  *option*: the minimum Euclidean modification that lifts the option's score
+  to the current k-th highest score.  This is the single-weight-vector
+  special case of the paper's option-enhancement application (and the
+  building block of the sampled baseline in :mod:`repro.core.sampled`).
+* :func:`why_not_weight_perturbation` — keep the option, perturb the *weight
+  vector*: the minimum-norm change of the (normalised) weights for which the
+  option enters the top-k.  The feasible weight set is the union of convex
+  cells reported by the monochromatic reverse top-k query, so the exact
+  answer is the smallest distance from the original weights to any of those
+  cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InfeasibleProblemError, InvalidParameterError
+from repro.geometry.qp import project_point_onto_polytope
+from repro.preference.region import PreferenceRegion
+from repro.preference.space import PreferenceSpace
+from repro.related.reverse_topk import monochromatic_reverse_top_k
+from repro.topk.query import top_k
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+
+def _tolerant_rank(
+    competitors: Dataset,
+    weight: np.ndarray,
+    option: np.ndarray,
+    tol: Tolerance,
+) -> int:
+    """Rank of ``option`` counting only competitors that beat it beyond the score tolerance.
+
+    Matches the tie semantics of Definition 2 (ties count in the option's
+    favour) and keeps the reported ranks stable when a why-not answer lands
+    exactly on a tie hyperplane, as minimum-perturbation answers do.
+    """
+    scores = competitors.values @ weight
+    own = float(option @ weight)
+    return 1 + int(np.count_nonzero(scores > own + tol.score))
+
+
+@dataclass(frozen=True)
+class WhyNotOptionAnswer:
+    """Minimum option modification that brings the option into the top-k."""
+
+    original: np.ndarray
+    modified: np.ndarray
+    cost: float
+    rank_before: int
+    rank_after: int
+
+
+@dataclass(frozen=True)
+class WhyNotWeightAnswer:
+    """Minimum weight perturbation for which the option enters the top-k."""
+
+    original_weight: np.ndarray
+    modified_weight: np.ndarray
+    distance: float
+    rank_before: int
+    rank_after: int
+
+
+def why_not_option_modification(
+    dataset: Dataset,
+    option: Sequence[float],
+    weight: Sequence[float],
+    k: int,
+    exclude_index: Optional[int] = None,
+    tol: Tolerance = DEFAULT_TOL,
+) -> WhyNotOptionAnswer:
+    """Smallest Euclidean change to ``option`` that makes it top-k under ``weight``.
+
+    The requirement is the single linear constraint ``w . o' >= TopK(w)``, so
+    the optimal modification moves the option along the weight direction by
+    exactly the score deficit (or not at all when the option already
+    qualifies).
+    """
+    option = np.asarray(option, dtype=float)
+    weight = np.asarray(weight, dtype=float)
+    if option.shape != (dataset.n_attributes,) or weight.shape != (dataset.n_attributes,):
+        raise InvalidParameterError("option and weight must match the dataset dimensionality")
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+
+    competitors = dataset if exclude_index is None else dataset.without([exclude_index])
+    k_effective = min(k, competitors.n_options)
+    threshold = top_k(competitors, weight, k_effective).threshold
+    rank_before = _tolerant_rank(competitors, weight, option, tol)
+
+    deficit = threshold - float(option @ weight)
+    if deficit <= tol.score:
+        modified = option.copy()
+    else:
+        norm_squared = float(weight @ weight)
+        if norm_squared <= 0:
+            raise InfeasibleProblemError("the weight vector is identically zero")
+        modified = option + (deficit / norm_squared) * weight
+
+    rank_after = _tolerant_rank(competitors, weight, modified, tol)
+    return WhyNotOptionAnswer(
+        original=option,
+        modified=modified,
+        cost=float(np.linalg.norm(modified - option)),
+        rank_before=rank_before,
+        rank_after=rank_after,
+    )
+
+
+def why_not_weight_perturbation(
+    dataset: Dataset,
+    option: Sequence[float],
+    weight: Sequence[float],
+    k: int,
+    region: Optional[PreferenceRegion] = None,
+    exclude_index: Optional[int] = None,
+    tol: Tolerance = DEFAULT_TOL,
+) -> WhyNotWeightAnswer:
+    """Smallest perturbation of ``weight`` (in reduced coordinates) that ranks ``option`` top-k.
+
+    The set of weight vectors for which the option ranks among the top-k is
+    the union of the convex cells returned by the monochromatic reverse
+    top-k query; the answer is the projection of the original weights onto
+    the nearest of those cells.  Raises
+    :class:`~repro.exceptions.InfeasibleProblemError` when the option cannot
+    reach the top-k anywhere in the search region.
+    """
+    option = np.asarray(option, dtype=float)
+    weight = np.asarray(weight, dtype=float)
+    if option.shape != (dataset.n_attributes,) or weight.shape != (dataset.n_attributes,):
+        raise InvalidParameterError("option and weight must match the dataset dimensionality")
+
+    space = PreferenceSpace(dataset.n_attributes)
+    reduced_original = space.to_reduced(weight)
+
+    competitors = dataset if exclude_index is None else dataset.without([exclude_index])
+    rank_before = _tolerant_rank(competitors, weight / weight.sum(), option, tol)
+
+    answer = monochromatic_reverse_top_k(
+        dataset,
+        option,
+        k,
+        region=region,
+        exclude_index=exclude_index,
+        tol=tol,
+    )
+    if not answer.winning_cells:
+        raise InfeasibleProblemError(
+            "the option cannot enter the top-k anywhere in the search region"
+        )
+
+    best_distance = np.inf
+    best_reduced = reduced_original
+    for cell in answer.winning_cells:
+        projected = project_point_onto_polytope(reduced_original, cell.polytope, tol=tol)
+        distance = float(np.linalg.norm(projected - reduced_original))
+        if distance < best_distance:
+            best_distance = distance
+            best_reduced = projected
+
+    modified_full = space.to_full(best_reduced)
+    rank_after = _tolerant_rank(competitors, modified_full, option, tol)
+    return WhyNotWeightAnswer(
+        original_weight=space.to_full(reduced_original),
+        modified_weight=modified_full,
+        distance=best_distance,
+        rank_before=rank_before,
+        rank_after=rank_after,
+    )

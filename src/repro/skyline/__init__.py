@@ -1,0 +1,31 @@
+"""Skyline and k-skyband computation over spatially indexed options.
+
+The paper's Section 2.3 describes the standard skyline machinery
+(Börzsönyi et al. [10], Papadias et al. [34]) which also provides one of the
+candidate pre-filters for TopRR (the k-skyband, Section 6.3).  The
+:mod:`repro.topk.skyband` module already has the sort-based reference
+implementation; this package adds:
+
+* :func:`~repro.skyline.bbs.bbs_skyline` / :func:`~repro.skyline.bbs.bbs_k_skyband`
+  — the branch-and-bound (BBS) algorithms over an R-tree, the approach the
+  literature actually deploys at scale, and
+* :func:`~repro.skyline.cardinality.expected_skyline_size` — the classical
+  cardinality estimate used when reasoning about the size of the filtered
+  set ``D'`` (the paper cites such analyses [20, 56] in Section 4.3).
+"""
+
+from repro.skyline.bbs import bbs_k_skyband, bbs_skyline, dominates
+from repro.skyline.cardinality import (
+    expected_k_skyband_size,
+    expected_skyline_size,
+    harmonic_number,
+)
+
+__all__ = [
+    "bbs_skyline",
+    "bbs_k_skyband",
+    "dominates",
+    "expected_skyline_size",
+    "expected_k_skyband_size",
+    "harmonic_number",
+]

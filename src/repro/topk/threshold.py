@@ -1,0 +1,208 @@
+"""Threshold-based top-k over per-attribute sorted lists (Fagin et al. [17]).
+
+The other standard top-k processing approach the paper cites (besides
+branch-and-bound on a spatial index) keeps one list per attribute, sorted by
+that attribute in decreasing order, and merges them:
+
+* **TA** (Threshold Algorithm) performs sorted access round-robin over the
+  lists, looks up the full record of every option it encounters (random
+  access), and stops once the k best scores seen so far are all at least the
+  *threshold* — the score of a hypothetical option whose every attribute
+  equals the current sorted-access depth.
+* **NRA** (No Random Access) never looks up full records; it maintains lower
+  and upper score bounds per partially seen option and stops when the k best
+  lower bounds dominate every other option's upper bound.
+
+Both return exactly the same result as the exact reference
+:func:`repro.topk.query.top_k` (including its deterministic tie-breaking) so
+they are interchangeable; the access counts they report are used by the
+substrate benchmarks to show how early termination depends on the weight
+vector and the data distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.topk.query import TopKResult, top_k_from_scores
+
+
+@dataclass
+class SortedListIndex:
+    """Per-attribute sorted lists over a dataset.
+
+    One list per attribute, each holding the option indices sorted by that
+    attribute in decreasing order.  Built once, reused by every TA / NRA
+    query against the same dataset.
+    """
+
+    orders: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def build(cls, dataset: Dataset) -> "SortedListIndex":
+        """Sort every attribute column of ``dataset`` in decreasing order."""
+        values = dataset.values
+        orders = np.argsort(-values, axis=0, kind="stable")
+        return cls(orders=orders, values=values)
+
+    @property
+    def n_options(self) -> int:
+        """Number of indexed options."""
+        return int(self.values.shape[0])
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes (sorted lists)."""
+        return int(self.values.shape[1])
+
+
+@dataclass
+class AccessStatistics:
+    """Sorted / random access counters reported by TA and NRA."""
+
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+    depth: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def _validate(dataset: Dataset, weight: Sequence[float], k: int) -> np.ndarray:
+    weight = np.asarray(weight, dtype=float)
+    if weight.shape != (dataset.n_attributes,):
+        raise InvalidParameterError(
+            f"weight must have {dataset.n_attributes} components, got {weight.shape}"
+        )
+    if np.any(weight < 0):
+        raise InvalidParameterError("threshold algorithms require non-negative weights")
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    return weight
+
+
+def threshold_algorithm(
+    dataset: Dataset,
+    weight: Sequence[float],
+    k: int,
+    index: Optional[SortedListIndex] = None,
+    stats: Optional[AccessStatistics] = None,
+) -> TopKResult:
+    """Fagin's TA: sorted access round-robin plus random access, early stop at the threshold.
+
+    Parameters
+    ----------
+    dataset:
+        The option dataset.
+    weight:
+        Full (non-negative) weight vector.
+    k:
+        Number of results.
+    index:
+        Pre-built :class:`SortedListIndex` (built on demand when omitted).
+    stats:
+        Optional accumulator for access counts.
+    """
+    weight = _validate(dataset, weight, k)
+    k = min(int(k), dataset.n_options)
+    index = index if index is not None else SortedListIndex.build(dataset)
+    stats = stats if stats is not None else AccessStatistics()
+
+    values = index.values
+    scores: Dict[int, float] = {}
+    n, d = values.shape
+
+    for depth in range(n):
+        stats.depth = depth + 1
+        frontier = np.empty(d)
+        for attribute in range(d):
+            option = int(index.orders[depth, attribute])
+            frontier[attribute] = values[option, attribute]
+            stats.sorted_accesses += 1
+            if option not in scores:
+                # Random access: fetch the full record and score it.
+                scores[option] = float(values[option] @ weight)
+                stats.random_accesses += 1
+        threshold = float(frontier @ weight)
+        if len(scores) >= k:
+            kth_best = sorted(scores.values(), reverse=True)[k - 1]
+            if kth_best >= threshold:
+                break
+
+    seen = np.fromiter(scores.keys(), dtype=int, count=len(scores))
+    seen_scores = np.fromiter(scores.values(), dtype=float, count=len(scores))
+    local = top_k_from_scores(seen_scores, k)
+    indices = seen[local.indices]
+    # Re-apply the global (score desc, index asc) tie-break on the winners so
+    # the result is bit-identical to the exact reference implementation.
+    order = np.lexsort((indices, -seen_scores[local.indices]))
+    indices = indices[order]
+    final_scores = seen_scores[local.indices][order]
+    return TopKResult(indices=indices, scores=final_scores, threshold=float(final_scores[-1]))
+
+
+def no_random_access_algorithm(
+    dataset: Dataset,
+    weight: Sequence[float],
+    k: int,
+    index: Optional[SortedListIndex] = None,
+    stats: Optional[AccessStatistics] = None,
+) -> TopKResult:
+    """Fagin's NRA: sorted access only, maintaining per-option score bounds.
+
+    NRA guarantees the correct top-k *set*; the scores of partially seen
+    winners are completed with one final lookup per winner so that the
+    returned :class:`~repro.topk.query.TopKResult` carries exact scores and
+    matches the reference implementation's ordering.
+    """
+    weight = _validate(dataset, weight, k)
+    k = min(int(k), dataset.n_options)
+    index = index if index is not None else SortedListIndex.build(dataset)
+    stats = stats if stats is not None else AccessStatistics()
+
+    values = index.values
+    n, d = values.shape
+    # lower[i]: weighted sum of the attributes of option i seen so far.
+    # seen_mask[i, j]: attribute j of option i has been seen via sorted access.
+    lower = np.zeros(n)
+    seen_mask = np.zeros((n, d), dtype=bool)
+    encountered = np.zeros(n, dtype=bool)
+
+    for depth in range(n):
+        stats.depth = depth + 1
+        frontier = np.empty(d)
+        for attribute in range(d):
+            option = int(index.orders[depth, attribute])
+            value = values[option, attribute]
+            frontier[attribute] = value
+            stats.sorted_accesses += 1
+            if not seen_mask[option, attribute]:
+                seen_mask[option, attribute] = True
+                lower[option] += weight[attribute] * value
+                encountered[option] = True
+
+        if np.count_nonzero(encountered) < k:
+            continue
+        # Upper bound: seen part exactly, unseen attributes bounded by the
+        # current frontier value of their list.
+        unseen_bonus = (~seen_mask) * (weight[None, :] * frontier[None, :])
+        upper = lower + unseen_bonus.sum(axis=1)
+        candidate_indices = np.flatnonzero(encountered)
+        candidate_lower = lower[candidate_indices]
+        top_candidates = candidate_indices[
+            np.lexsort((candidate_indices, -candidate_lower))[:k]
+        ]
+        kth_lower = lower[top_candidates].min()
+        others = np.ones(n, dtype=bool)
+        others[top_candidates] = False
+        if not np.any(others) or kth_lower >= upper[others].max():
+            break
+
+    exact_scores = values @ weight
+    # Restrict to encountered options (NRA never needs to look at the rest).
+    restricted = np.where(encountered, exact_scores, -np.inf)
+    return top_k_from_scores(restricted, k)

@@ -1,0 +1,7 @@
+"""Small shared utilities: tolerances, timing, validation and RNG helpers."""
+
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+from repro.utils.timer import Timer
+from repro.utils.rng import ensure_rng
+
+__all__ = ["DEFAULT_TOL", "Tolerance", "Timer", "ensure_rng"]

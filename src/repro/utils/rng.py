@@ -1,0 +1,34 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the package (data generators, random region
+generation, random splitting-pair selection in TAS, the sampling verifier)
+accepts either a seed, an existing :class:`numpy.random.Generator`, or
+``None``, and funnels it through :func:`ensure_rng` so that experiments are
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh unseeded generator), an integer seed, or an existing
+        generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot interpret {rng!r} as a random generator or seed")

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.examples import figure1_dataset, table2_dataset
+from repro.data.generators import generate_independent
+from repro.preference.region import PreferenceRegion
+
+
+@pytest.fixture
+def figure1():
+    """The paper's running-example dataset (Figure 1)."""
+    return figure1_dataset()
+
+
+@pytest.fixture
+def table2():
+    """The paper's kIPR-testing example dataset (Table 2)."""
+    return table2_dataset()
+
+
+@pytest.fixture
+def figure1_region():
+    """The running-example preference region wR = [0.2, 0.8]."""
+    return PreferenceRegion.interval(0.2, 0.8)
+
+
+@pytest.fixture
+def table2_region():
+    """The Table 2 / Figure 2 preference region [0.2, 0.3] x [0.1, 0.2]."""
+    return PreferenceRegion.hyperrectangle([(0.2, 0.3), (0.1, 0.2)])
+
+
+@pytest.fixture
+def small_ind_dataset():
+    """A small independent dataset for integration tests."""
+    return generate_independent(500, 3, rng=11)
+
+
+@pytest.fixture
+def medium_ind_dataset():
+    """A medium independent dataset (d = 4) for solver agreement tests."""
+    return generate_independent(2_000, 4, rng=13)
+
+
+@pytest.fixture
+def unit_square_dataset():
+    """A tiny hand-written 2-attribute dataset with known structure."""
+    values = np.array(
+        [
+            [0.95, 0.10],
+            [0.80, 0.60],
+            [0.55, 0.85],
+            [0.10, 0.95],
+            [0.40, 0.40],
+            [0.20, 0.15],
+        ]
+    )
+    return Dataset(values, attribute_names=["x", "y"], name="unit-square")

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9a" in out and "table6" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_solve_command(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--n", "800",
+                "--d", "3",
+                "--k", "4",
+                "--sigma", "0.05",
+                "--method", "tas*",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TopRR result" in out
+        assert "cost-optimal" in out or "empty" in out
+
+    def test_run_command_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig12a.csv"
+        code = main(["run", "fig12a", "--scale", "smoke", "--csv", str(csv_path)])
+        assert code == 0
+        assert csv_path.exists()
+        out = capsys.readouterr().out
+        assert "fig12a" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99", "--scale", "smoke"])
+
+    def test_list_includes_extension_studies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "extension studies" in out
+        assert "ablation_sampling" in out
+
+    def test_run_ablation_by_name(self, capsys):
+        code = main(["run", "substrate_engines", "--scale", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "substrate_engines" in out
+        assert "branch-and-bound" in out

@@ -1,0 +1,129 @@
+"""Tests for composite queries: non-convex target regions and constrained option domains."""
+
+import numpy as np
+import pytest
+
+from repro.core.composite import constrain_result, solve_toprr_union
+from repro.core.placement import cheapest_new_option
+from repro.core.toprr import solve_toprr
+from repro.data.generators import generate_independent
+from repro.exceptions import InfeasibleProblemError, InvalidParameterError
+from repro.geometry.halfspace import Halfspace
+from repro.preference.region import PreferenceRegion
+
+
+@pytest.fixture(scope="module")
+def market():
+    return generate_independent(1_500, 3, rng=91)
+
+
+@pytest.fixture(scope="module")
+def two_pieces():
+    return [
+        PreferenceRegion.hyperrectangle([(0.15, 0.22), (0.15, 0.22)]),
+        PreferenceRegion.hyperrectangle([(0.45, 0.52), (0.25, 0.32)]),
+    ]
+
+
+class TestUnionOfRegions:
+    def test_union_is_intersection_of_piece_results(self, market, two_pieces):
+        union_result = solve_toprr_union(market, 5, two_pieces)
+        piece_results = [solve_toprr(market, 5, piece) for piece in two_pieces]
+        probes = np.random.default_rng(0).random((500, 3))
+        expected = np.logical_and(
+            piece_results[0].contains_many(probes), piece_results[1].contains_many(probes)
+        )
+        assert np.array_equal(union_result.contains_many(probes), expected)
+
+    def test_union_volume_not_larger_than_any_piece(self, market, two_pieces):
+        union_result = solve_toprr_union(market, 5, two_pieces)
+        for piece in two_pieces:
+            piece_result = solve_toprr(market, 5, piece)
+            assert union_result.volume() <= piece_result.volume() + 1e-9
+
+    def test_union_with_single_piece_matches_plain_solve(self, market, two_pieces):
+        single = solve_toprr_union(market, 5, two_pieces[:1])
+        plain = solve_toprr(market, 5, two_pieces[0])
+        probes = np.random.default_rng(1).random((300, 3))
+        assert np.array_equal(single.contains_many(probes), plain.contains_many(probes))
+
+    def test_union_records_piece_count(self, market, two_pieces):
+        result = solve_toprr_union(market, 5, two_pieces)
+        assert result.stats.extra["n_region_pieces"] == 2
+        assert "union" in result.method
+
+    def test_union_validation(self, market, two_pieces):
+        with pytest.raises(InvalidParameterError):
+            solve_toprr_union(market, 5, [])
+        mismatched = [two_pieces[0], PreferenceRegion.interval(0.2, 0.4)]
+        with pytest.raises(InvalidParameterError):
+            solve_toprr_union(market, 5, mismatched)
+
+    def test_top_corner_still_qualifies(self, market, two_pieces):
+        result = solve_toprr_union(market, 5, two_pieces)
+        assert result.contains(np.ones(3))
+
+
+def _binding_budget_cap(result):
+    """A total-attribute-budget cap that is feasible for ``oR`` yet excludes its cheapest point.
+
+    The cap sits halfway between the smallest attribute sum attained by the
+    region's vertices (so the constrained region stays non-empty) and the sum
+    of the unconstrained cost-optimal placement (so the constraint actually
+    binds).
+    """
+    min_vertex_sum = float(result.option_region_vertices.sum(axis=1).min())
+    unconstrained_sum = float(cheapest_new_option(result).option.sum())
+    return (min_vertex_sum + unconstrained_sum) / 2.0
+
+
+class TestConstrainedResult:
+    def test_constraint_shrinks_the_polytope(self, market):
+        region = PreferenceRegion.hyperrectangle([(0.3, 0.36), (0.25, 0.31)])
+        result = solve_toprr(market, 5, region)
+        cap = _binding_budget_cap(result)
+        constrained = constrain_result(result, [Halfspace([1.0, 1.0, 1.0], cap)])
+        assert not constrained.is_empty()
+        assert constrained.volume() <= result.volume() + 1e-9
+        assert constrained.volume() < result.volume()
+        for vertex in constrained.option_region_vertices:
+            assert vertex.sum() <= cap + 1e-6
+
+    def test_membership_guarantee_is_unchanged(self, market):
+        region = PreferenceRegion.hyperrectangle([(0.3, 0.36), (0.25, 0.31)])
+        result = solve_toprr(market, 5, region)
+        cap = _binding_budget_cap(result)
+        constrained = constrain_result(result, [Halfspace([1.0, 1.0, 1.0], cap)])
+        probes = np.random.default_rng(2).random((200, 3))
+        assert np.array_equal(constrained.contains_many(probes), result.contains_many(probes))
+
+    def test_cost_optimal_placement_respects_constraints(self, market):
+        region = PreferenceRegion.hyperrectangle([(0.3, 0.36), (0.25, 0.31)])
+        result = solve_toprr(market, 5, region)
+        unconstrained = cheapest_new_option(result)
+        cap = _binding_budget_cap(result)
+        constrained = constrain_result(result, [Halfspace([1.0, 1.0, 1.0], cap)])
+        placement = cheapest_new_option(constrained)
+        assert placement.option.sum() <= cap + 1e-6
+        # The binding constraint can only make the optimum more expensive.
+        assert placement.cost >= unconstrained.cost - 1e-9
+
+    def test_infeasible_budget_empties_the_region(self, market):
+        region = PreferenceRegion.hyperrectangle([(0.3, 0.36), (0.25, 0.31)])
+        result = solve_toprr(market, 5, region)
+        too_tight = float(result.option_region_vertices.sum(axis=1).min()) - 0.5
+        constrained = constrain_result(result, [Halfspace([1.0, 1.0, 1.0], too_tight)])
+        assert constrained.is_empty()
+        with pytest.raises(InfeasibleProblemError):
+            cheapest_new_option(constrained)
+
+    def test_no_constraints_is_a_no_op(self, market):
+        region = PreferenceRegion.hyperrectangle([(0.3, 0.36), (0.25, 0.31)])
+        result = solve_toprr(market, 5, region)
+        assert constrain_result(result, []) is result
+
+    def test_dimension_mismatch_rejected(self, market):
+        region = PreferenceRegion.hyperrectangle([(0.3, 0.36), (0.25, 0.31)])
+        result = solve_toprr(market, 5, region)
+        with pytest.raises(InvalidParameterError):
+            constrain_result(result, [Halfspace([1.0, 1.0], 1.0)])

@@ -1,0 +1,198 @@
+"""Unit tests for the dataset container, generators, surrogates, examples and I/O."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.examples import figure1_dataset, table2_dataset
+from repro.data.generators import (
+    generate_anticorrelated,
+    generate_correlated,
+    generate_independent,
+    generate_synthetic,
+)
+from repro.data.io import load_csv, save_csv
+from repro.data.surrogates import (
+    CNET_LANDMARKS,
+    cnet_laptops,
+    hotel_surrogate,
+    house_surrogate,
+    nba_surrogate,
+    real_dataset,
+)
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+
+
+class TestDataset:
+    def test_shape_accessors(self, unit_square_dataset):
+        assert unit_square_dataset.n_options == 6
+        assert unit_square_dataset.n_attributes == 2
+        assert len(unit_square_dataset) == 6
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(DimensionMismatchError):
+            Dataset(np.zeros(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset(np.zeros((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset([[0.1, float("nan")]])
+
+    def test_attribute_names_default_and_custom(self):
+        data = Dataset([[1.0, 2.0]])
+        assert data.attribute_names == ["attr_0", "attr_1"]
+        named = Dataset([[1.0, 2.0]], attribute_names=["speed", "battery"])
+        assert named.attribute_names == ["speed", "battery"]
+        with pytest.raises(DimensionMismatchError):
+            Dataset([[1.0, 2.0]], attribute_names=["only-one"])
+
+    def test_subset_preserves_ids(self, figure1):
+        subset = figure1.subset([1, 3])
+        assert subset.option_ids == ["p2", "p4"]
+        assert np.allclose(subset.values[0], figure1.values[1])
+
+    def test_without(self, figure1):
+        remaining = figure1.without([0, 5])
+        assert remaining.n_options == 4
+        assert "p1" not in remaining.option_ids
+
+    def test_id_index_roundtrip(self, figure1):
+        assert figure1.id_of(2) == "p3"
+        assert figure1.index_of("p3") == 2
+
+    def test_scores(self, figure1):
+        scores = figure1.scores([0.5, 0.5])
+        assert scores[0] == pytest.approx(0.65)  # p1 = (0.9, 0.4)
+
+    def test_scores_many(self, figure1):
+        weights = np.array([[1.0, 0.0], [0.0, 1.0]])
+        matrix = figure1.scores_many(weights)
+        assert matrix.shape == (6, 2)
+        assert matrix[0, 0] == pytest.approx(0.9)
+        assert matrix[0, 1] == pytest.approx(0.4)
+
+    def test_scores_dimension_mismatch(self, figure1):
+        with pytest.raises(DimensionMismatchError):
+            figure1.scores([0.5, 0.3, 0.2])
+
+    def test_normalized(self):
+        data = Dataset([[0.0, 5.0], [10.0, 5.0]])
+        normalized = data.normalized()
+        assert normalized.values[:, 0].tolist() == [0.0, 1.0]
+        # Constant column maps to 0.5.
+        assert normalized.values[:, 1].tolist() == [0.5, 0.5]
+
+    def test_describe(self, figure1):
+        info = figure1.describe()
+        assert info["n_options"] == 6
+        assert info["attribute_names"] == ["speed", "battery"]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator", [generate_independent, generate_correlated, generate_anticorrelated])
+    def test_shapes_and_range(self, generator):
+        data = generator(200, 4, rng=0)
+        assert data.values.shape == (200, 4)
+        assert np.all(data.values >= 0.0) and np.all(data.values <= 1.0)
+
+    def test_determinism(self):
+        a = generate_independent(100, 3, rng=5)
+        b = generate_independent(100, 3, rng=5)
+        assert np.allclose(a.values, b.values)
+
+    def test_correlation_structure(self):
+        correlated = generate_correlated(3_000, 2, rng=1)
+        anticorrelated = generate_anticorrelated(3_000, 2, rng=1)
+        corr_cor = np.corrcoef(correlated.values.T)[0, 1]
+        corr_anti = np.corrcoef(anticorrelated.values.T)[0, 1]
+        assert corr_cor > 0.5
+        assert corr_anti < -0.2
+
+    def test_dispatch(self):
+        assert generate_synthetic("ind", 10, 2, rng=0).n_options == 10
+        assert generate_synthetic("COR", 10, 2, rng=0).n_options == 10
+        with pytest.raises(InvalidParameterError):
+            generate_synthetic("weird", 10, 2)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            generate_independent(0, 3)
+        with pytest.raises(InvalidParameterError):
+            generate_correlated(10, 2, spread=-1.0)
+
+
+class TestPaperExampleData:
+    def test_figure1_values(self):
+        data = figure1_dataset()
+        assert data.n_options == 6 and data.n_attributes == 2
+        assert data.option_ids == ["p1", "p2", "p3", "p4", "p5", "p6"]
+        assert np.allclose(data.values[0], [0.9, 0.4])
+
+    def test_table2_values(self):
+        data = table2_dataset()
+        assert data.n_options == 5 and data.n_attributes == 3
+        assert np.allclose(data.values[4], [0.92, 0.98, 0.99])
+
+
+class TestSurrogates:
+    def test_cardinalities_and_dimensions(self):
+        assert hotel_surrogate(n_options=1_000).n_attributes == 4
+        assert house_surrogate(n_options=1_000).n_attributes == 6
+        assert nba_surrogate(n_options=1_000).n_attributes == 8
+        assert cnet_laptops().n_options == 149
+
+    def test_cnet_contains_landmarks(self):
+        laptops = cnet_laptops()
+        for name, _perf, _batt in CNET_LANDMARKS:
+            assert name in laptops.option_ids
+
+    def test_values_in_unit_range(self):
+        for data in (hotel_surrogate(n_options=500), nba_surrogate(n_options=500)):
+            assert np.all(data.values >= 0.0) and np.all(data.values <= 1.0)
+
+    def test_determinism(self):
+        assert np.allclose(hotel_surrogate(n_options=200).values, hotel_surrogate(n_options=200).values)
+
+    def test_dispatch(self):
+        assert real_dataset("nba", n_options=100).n_attributes == 8
+        with pytest.raises(InvalidParameterError):
+            real_dataset("unknown")
+
+    def test_nba_more_correlated_than_house(self):
+        nba = nba_surrogate(n_options=3_000)
+        house = house_surrogate(n_options=3_000)
+        mean_corr = lambda values: np.mean(  # noqa: E731 - concise test helper
+            np.corrcoef(values.T)[np.triu_indices(values.shape[1], k=1)]
+        )
+        assert mean_corr(nba.values) > mean_corr(house.values)
+
+
+class TestCsvIO:
+    def test_roundtrip_with_ids(self, tmp_path, figure1):
+        path = save_csv(figure1, tmp_path / "figure1.csv")
+        loaded = load_csv(path)
+        assert loaded.n_options == figure1.n_options
+        assert loaded.attribute_names == figure1.attribute_names
+        assert loaded.option_ids == figure1.option_ids
+        assert np.allclose(loaded.values, figure1.values)
+
+    def test_roundtrip_without_ids(self, tmp_path, unit_square_dataset):
+        path = save_csv(unit_square_dataset, tmp_path / "plain.csv", include_ids=False)
+        loaded = load_csv(path)
+        assert loaded.n_options == unit_square_dataset.n_options
+        assert np.allclose(loaded.values, unit_square_dataset.values)
+
+    def test_empty_file_raises(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(InvalidParameterError):
+            load_csv(empty)
+
+    def test_header_only_raises(self, tmp_path):
+        header_only = tmp_path / "header.csv"
+        header_only.write_text("a,b\n")
+        with pytest.raises(InvalidParameterError):
+            load_csv(header_only)

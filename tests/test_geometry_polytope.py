@@ -1,0 +1,204 @@
+"""Unit tests for convex polytopes, Chebyshev centres and vertex enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyRegionError, InfeasibleProblemError
+from repro.geometry.chebyshev import chebyshev_center, interior_point, is_feasible, maximize_linear
+from repro.geometry.halfspace import Halfspace
+from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.polytope import ConvexPolytope, merge_vertex_sets
+from repro.geometry.vertex_enum import (
+    deduplicate_points,
+    enumerate_box_vertices,
+    enumerate_vertices,
+    vertex_facet_incidence,
+)
+from repro.geometry.volume import exact_volume, monte_carlo_volume, relative_volume
+
+
+class TestChebyshev:
+    def test_center_of_unit_square(self):
+        box = ConvexPolytope.from_box([0, 0], [1, 1])
+        A, b = box.halfspaces
+        center, radius = chebyshev_center(A, b)
+        assert np.allclose(center, [0.5, 0.5], atol=1e-6)
+        assert radius == pytest.approx(0.5, abs=1e-6)
+
+    def test_infeasible_system(self):
+        A = np.array([[1.0], [-1.0]])
+        b = np.array([0.0, -1.0])  # x <= 0 and x >= 1
+        center, radius = chebyshev_center(A, b)
+        assert center is None
+        assert radius == float("-inf")
+        assert not is_feasible(A, b)
+
+    def test_interior_point_raises_on_degenerate(self):
+        A = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        b = np.array([0.5, -0.5, 1.0, 0.0])  # x = 0.5 exactly
+        with pytest.raises(InfeasibleProblemError):
+            interior_point(A, b)
+
+    def test_maximize_linear(self):
+        box = ConvexPolytope.from_box([0, 0], [1, 2])
+        A, b = box.halfspaces
+        point, value = maximize_linear(np.array([1.0, 1.0]), A, b)
+        assert value == pytest.approx(3.0, abs=1e-6)
+        assert np.allclose(point, [1.0, 2.0], atol=1e-6)
+
+
+class TestVertexEnumeration:
+    def test_unit_square_vertices(self):
+        box = ConvexPolytope.from_box([0, 0], [1, 1])
+        A, b = box.halfspaces
+        vertices = enumerate_vertices(A, b)
+        assert vertices.shape == (4, 2)
+        expected = {(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)}
+        assert {tuple(np.round(v, 6)) for v in vertices} == expected
+
+    def test_one_dimensional_interval(self):
+        A = np.array([[1.0], [-1.0]])
+        b = np.array([0.8, -0.2])
+        vertices = enumerate_vertices(A, b)
+        assert sorted(vertices.ravel().tolist()) == pytest.approx([0.2, 0.8])
+
+    def test_one_dimensional_empty(self):
+        A = np.array([[1.0], [-1.0]])
+        b = np.array([0.2, -0.8])
+        assert enumerate_vertices(A, b).shape[0] == 0
+
+    def test_empty_region_raises(self):
+        A = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        b = np.array([0.0, -1.0])
+        with pytest.raises(EmptyRegionError):
+            enumerate_vertices(A, b)
+
+    def test_deduplicate_points(self):
+        points = np.array([[0.1, 0.2], [0.1 + 1e-12, 0.2], [0.3, 0.4]])
+        assert deduplicate_points(points).shape[0] == 2
+
+    def test_box_corner_enumeration(self):
+        corners = enumerate_box_vertices(np.array([0.0, 0.0, 0.0]), np.array([1.0, 1.0, 1.0]))
+        assert corners.shape == (8, 3)
+        assert len({tuple(c) for c in corners}) == 8
+
+    def test_vertex_facet_incidence_of_square(self):
+        box = ConvexPolytope.from_box([0, 0], [1, 1])
+        A, b = box.halfspaces
+        vertices = enumerate_vertices(A, b)
+        incidence = vertex_facet_incidence(vertices, A, b)
+        # In a square every vertex lies on exactly 2 of the 4 facets.
+        assert incidence.shape == (4, 4)
+        assert np.all(incidence.sum(axis=1) == 2)
+        assert np.all(incidence.sum(axis=0) == 2)
+
+
+class TestConvexPolytope:
+    def test_from_box_membership(self):
+        box = ConvexPolytope.from_box([0, 0], [1, 1])
+        assert box.contains([0.5, 0.5])
+        assert box.contains([1.0, 1.0])
+        assert not box.contains([1.1, 0.5])
+
+    def test_contains_many(self):
+        box = ConvexPolytope.from_box([0, 0], [1, 1])
+        mask = box.contains_many(np.array([[0.5, 0.5], [2.0, 0.0]]))
+        assert mask.tolist() == [True, False]
+
+    def test_from_halfspaces_triangle(self):
+        triangle = ConvexPolytope.from_halfspaces(
+            [
+                Halfspace([-1.0, 0.0], 0.0),   # x >= 0
+                Halfspace([0.0, -1.0], 0.0),   # y >= 0
+                Halfspace([1.0, 1.0], 1.0),    # x + y <= 1
+            ]
+        )
+        assert triangle.n_vertices == 3
+        assert triangle.volume() == pytest.approx(0.5, abs=1e-6)
+
+    def test_volume_of_box(self):
+        box = ConvexPolytope.from_box([0, 0, 0], [1, 2, 3])
+        assert box.volume() == pytest.approx(6.0, abs=1e-6)
+
+    def test_empty_polytope(self):
+        empty = ConvexPolytope(np.array([[1.0, 0.0], [-1.0, 0.0]]), np.array([0.0, -1.0]))
+        assert empty.is_empty()
+        assert not empty.is_full_dimensional()
+        assert empty.volume() == 0.0
+
+    def test_split_square_by_diagonal(self):
+        box = ConvexPolytope.from_box([0, 0], [1, 1])
+        below, above = box.split(Hyperplane([1.0, -1.0], 0.0))
+        assert below.volume() == pytest.approx(0.5, abs=1e-6)
+        assert above.volume() == pytest.approx(0.5, abs=1e-6)
+        # The diagonal's endpoints are vertices of both children.
+        for child in (below, above):
+            rounded = {tuple(np.round(v, 6)) for v in child.vertices}
+            assert (0.0, 0.0) in rounded and (1.0, 1.0) in rounded
+
+    def test_split_missing_the_polytope_gives_empty_side(self):
+        box = ConvexPolytope.from_box([0, 0], [1, 1])
+        below, above = box.split(Hyperplane([1.0, 0.0], 2.0))
+        assert not below.is_empty()
+        assert above.is_empty()
+
+    def test_classify_vertices(self):
+        box = ConvexPolytope.from_box([0, 0], [1, 1])
+        below, on, above = box.classify_vertices(Hyperplane([1.0, 0.0], 0.5))
+        assert len(below) == 2 and len(above) == 2 and len(on) == 0
+
+    def test_intersect_halfspace(self):
+        box = ConvexPolytope.from_box([0, 0], [1, 1])
+        half = box.intersect_halfspace(Halfspace([1.0, 0.0], 0.5))
+        assert half.volume() == pytest.approx(0.5, abs=1e-6)
+
+    def test_prune_redundant_keeps_geometry(self):
+        box = ConvexPolytope.from_box([0, 0], [1, 1])
+        redundant = box.intersect_halfspace(Halfspace([1.0, 0.0], 5.0))
+        pruned = redundant.prune_redundant()
+        assert pruned.n_constraints <= redundant.n_constraints
+        assert pruned.volume() == pytest.approx(1.0, abs=1e-6)
+
+    def test_bounding_box(self):
+        triangle = ConvexPolytope.from_halfspaces(
+            [Halfspace([-1.0, 0.0], 0.0), Halfspace([0.0, -1.0], 0.0), Halfspace([1.0, 1.0], 1.0)]
+        )
+        lower, upper = triangle.bounding_box()
+        assert np.allclose(lower, [0, 0], atol=1e-6)
+        assert np.allclose(upper, [1, 1], atol=1e-6)
+
+    def test_support_direction(self):
+        box = ConvexPolytope.from_box([0, 0], [2, 1])
+        point, value = box.support([1.0, 0.0])
+        assert value == pytest.approx(2.0, abs=1e-6)
+
+    def test_sampling_stays_inside(self):
+        box = ConvexPolytope.from_box([0, 0], [1, 1])
+        samples = box.sample(50, np.random.default_rng(0))
+        assert samples.shape == (50, 2)
+        assert np.all(box.contains_many(samples))
+
+    def test_merge_vertex_sets_deduplicates(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = np.array([[1.0, 1.0], [0.5, 0.5]])
+        merged = merge_vertex_sets([a, b])
+        assert merged.shape[0] == 3
+
+
+class TestVolumeHelpers:
+    def test_monte_carlo_close_to_exact(self):
+        triangle = ConvexPolytope.from_halfspaces(
+            [Halfspace([-1.0, 0.0], 0.0), Halfspace([0.0, -1.0], 0.0), Halfspace([1.0, 1.0], 1.0)]
+        )
+        estimate = monte_carlo_volume(triangle, n_samples=20_000, rng=0)
+        assert estimate == pytest.approx(exact_volume(triangle), rel=0.1)
+
+    def test_relative_volume(self):
+        outer = ConvexPolytope.from_box([0, 0], [1, 1])
+        inner = ConvexPolytope.from_box([0, 0], [0.5, 0.5])
+        assert relative_volume(inner, outer) == pytest.approx(0.25, abs=1e-6)
+
+    def test_relative_volume_with_empty_outer(self):
+        empty = ConvexPolytope(np.array([[1.0, 0.0], [-1.0, 0.0]]), np.array([0.0, -1.0]))
+        box = ConvexPolytope.from_box([0, 0], [1, 1])
+        assert relative_volume(box, empty) == 0.0

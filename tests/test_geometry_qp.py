@@ -1,0 +1,86 @@
+"""Unit tests for the quadratic-programming placement solvers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleProblemError
+from repro.geometry.halfspace import Halfspace
+from repro.geometry.polytope import ConvexPolytope
+from repro.geometry.qp import (
+    minimize_quadratic_cost,
+    project_point_onto_polytope,
+    quadratic_cost,
+)
+
+
+@pytest.fixture
+def shifted_box():
+    """The box [0.5, 1] x [0.5, 1]; its closest point to the origin is (0.5, 0.5)."""
+    return ConvexPolytope.from_box([0.5, 0.5], [1.0, 1.0])
+
+
+class TestMinimizeQuadraticCost:
+    def test_origin_projection_onto_shifted_box(self, shifted_box):
+        optimum = minimize_quadratic_cost(shifted_box)
+        assert np.allclose(optimum, [0.5, 0.5], atol=1e-5)
+
+    def test_unconstrained_optimum_inside_region(self):
+        box = ConvexPolytope.from_box([-1.0, -1.0], [1.0, 1.0])
+        optimum = minimize_quadratic_cost(box)
+        assert np.allclose(optimum, [0.0, 0.0], atol=1e-8)
+
+    def test_weighted_cost_prefers_cheap_attribute(self):
+        # Halfplane x + y >= 1 inside the unit box; weight makes y cheap.
+        region = ConvexPolytope.from_box([0, 0], [1, 1]).intersect_halfspace(
+            Halfspace([-1.0, -1.0], -1.0)
+        )
+        optimum = minimize_quadratic_cost(region, weights=[10.0, 0.1])
+        assert optimum[1] > optimum[0]
+        assert optimum[0] + optimum[1] == pytest.approx(1.0, abs=1e-4)
+
+    def test_empty_region_raises(self):
+        empty = ConvexPolytope(np.array([[1.0, 0.0], [-1.0, 0.0]]), np.array([0.0, -1.0]))
+        with pytest.raises(InfeasibleProblemError):
+            minimize_quadratic_cost(empty)
+
+    def test_invalid_weights_rejected(self, shifted_box):
+        with pytest.raises(ValueError):
+            minimize_quadratic_cost(shifted_box, weights=[1.0, -1.0])
+
+    def test_triangle_optimum_on_facet(self):
+        # x + y >= 1 within the unit box: the closest point to the origin is (0.5, 0.5).
+        region = ConvexPolytope.from_box([0, 0], [1, 1]).intersect_halfspace(
+            Halfspace([-1.0, -1.0], -1.0)
+        )
+        optimum = minimize_quadratic_cost(region)
+        assert np.allclose(optimum, [0.5, 0.5], atol=1e-5)
+
+
+class TestProjection:
+    def test_point_already_inside_is_unchanged(self, shifted_box):
+        projected = project_point_onto_polytope([0.75, 0.75], shifted_box)
+        assert np.allclose(projected, [0.75, 0.75])
+
+    def test_projection_onto_face(self, shifted_box):
+        projected = project_point_onto_polytope([0.75, 0.0], shifted_box)
+        assert np.allclose(projected, [0.75, 0.5], atol=1e-5)
+
+    def test_projection_onto_corner(self, shifted_box):
+        projected = project_point_onto_polytope([0.0, 0.0], shifted_box)
+        assert np.allclose(projected, [0.5, 0.5], atol=1e-5)
+
+    def test_projection_reduces_distance_monotonically(self, shifted_box):
+        target = np.array([0.2, 0.3])
+        projected = project_point_onto_polytope(target, shifted_box)
+        # No feasible point can be closer than the projection (convexity check on samples).
+        samples = shifted_box.sample(200, np.random.default_rng(1))
+        best_sample = min(np.linalg.norm(samples - target, axis=1))
+        assert np.linalg.norm(projected - target) <= best_sample + 1e-6
+
+
+class TestQuadraticCost:
+    def test_unweighted_cost_is_sum_of_squares(self):
+        assert quadratic_cost([0.3, 0.4]) == pytest.approx(0.25)
+
+    def test_weighted_cost(self):
+        assert quadratic_cost([1.0, 2.0], weights=[2.0, 0.5]) == pytest.approx(2.0 + 2.0)

@@ -1,0 +1,173 @@
+"""Unit and property tests for the R-tree spatial index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.index import BoundingBox, RTree
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return np.random.default_rng(7).random((500, 3))
+
+
+@pytest.fixture(scope="module")
+def tree(cloud):
+    return RTree(cloud, leaf_capacity=16, fanout=8)
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        points = np.array([[0.1, 0.9], [0.5, 0.2], [0.3, 0.7]])
+        box = BoundingBox.of_points(points)
+        assert box.lower.tolist() == [0.1, 0.2]
+        assert box.upper.tolist() == [0.5, 0.9]
+
+    def test_of_boxes(self):
+        a = BoundingBox(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        b = BoundingBox(np.array([0.4, 0.2]), np.array([0.9, 0.3]))
+        merged = BoundingBox.of_boxes([a, b])
+        assert merged.lower.tolist() == [0.0, 0.0]
+        assert merged.upper.tolist() == [0.9, 0.5]
+
+    def test_contains_and_intersects(self):
+        box = BoundingBox(np.array([0.2, 0.2]), np.array([0.6, 0.6]))
+        assert box.contains_point([0.3, 0.5])
+        assert not box.contains_point([0.7, 0.5])
+        other = BoundingBox(np.array([0.5, 0.5]), np.array([0.9, 0.9]))
+        disjoint = BoundingBox(np.array([0.7, 0.7]), np.array([0.9, 0.9]))
+        assert box.intersects(other)
+        assert not box.intersects(disjoint)
+
+    def test_score_bounds(self):
+        box = BoundingBox(np.array([0.2, 0.4]), np.array([0.6, 0.8]))
+        weight = np.array([0.5, 0.5])
+        assert box.max_score(weight) == pytest.approx(0.7)
+        assert box.min_score(weight) == pytest.approx(0.3)
+
+    def test_top_and_bottom_corners(self):
+        box = BoundingBox(np.array([0.1, 0.2]), np.array([0.3, 0.4]))
+        assert box.top_corner.tolist() == [0.3, 0.4]
+        assert box.bottom_corner.tolist() == [0.1, 0.2]
+
+    def test_volume(self):
+        box = BoundingBox(np.array([0.0, 0.0, 0.0]), np.array([0.5, 0.2, 1.0]))
+        assert box.volume() == pytest.approx(0.1)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BoundingBox.of_points(np.empty((0, 2)))
+        with pytest.raises(InvalidParameterError):
+            BoundingBox.of_boxes([])
+
+
+class TestRTreeStructure:
+    def test_every_point_is_stored_exactly_once(self, tree, cloud):
+        stored = np.concatenate(
+            [node.point_indices for node in tree.iter_nodes() if node.is_leaf]
+        )
+        assert np.array_equal(np.sort(stored), np.arange(cloud.shape[0]))
+
+    def test_leaf_capacity_respected(self, tree):
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                assert node.n_entries() <= tree.leaf_capacity
+
+    def test_fanout_respected(self, tree):
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                assert node.n_entries() <= tree.fanout
+
+    def test_child_boxes_nested_in_parent(self, tree, cloud):
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                points = cloud[node.point_indices]
+                assert np.all(points >= node.box.lower - 1e-12)
+                assert np.all(points <= node.box.upper + 1e-12)
+            else:
+                for child in node.children:
+                    assert np.all(child.box.lower >= node.box.lower - 1e-12)
+                    assert np.all(child.box.upper <= node.box.upper + 1e-12)
+
+    def test_height_and_node_count(self, tree, cloud):
+        assert tree.height >= 2
+        assert tree.node_count() >= cloud.shape[0] // tree.leaf_capacity
+
+    def test_single_leaf_tree(self):
+        points = np.random.default_rng(0).random((5, 2))
+        small = RTree(points, leaf_capacity=16)
+        assert small.height == 1
+        assert small.root.is_leaf
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            RTree(np.empty((0, 2)))
+        with pytest.raises(DimensionMismatchError):
+            RTree(np.ones(5))
+        with pytest.raises(InvalidParameterError):
+            RTree(np.ones((5, 2)), leaf_capacity=0)
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, tree, cloud):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            lower = rng.random(3) * 0.6
+            upper = lower + rng.random(3) * 0.4
+            expected = np.flatnonzero(np.all((cloud >= lower) & (cloud <= upper), axis=1))
+            assert np.array_equal(tree.range_query(lower, upper), expected)
+
+    def test_full_box_returns_everything(self, tree, cloud):
+        result = tree.range_query(np.zeros(3), np.ones(3))
+        assert result.size == cloud.shape[0]
+
+    def test_empty_box_returns_nothing(self, tree):
+        assert tree.range_query(np.full(3, 2.0), np.full(3, 3.0)).size == 0
+
+    def test_dimension_mismatch_rejected(self, tree):
+        with pytest.raises(DimensionMismatchError):
+            tree.range_query([0.0, 0.0], [1.0, 1.0])
+
+
+class TestBestFirst:
+    def test_yields_points_in_decreasing_key_order(self, tree, cloud):
+        weight = np.array([0.5, 0.3, 0.2])
+        produced = list(
+            tree.best_first(
+                node_key=lambda box: box.max_score(weight),
+                point_key=lambda point: float(point @ weight),
+            )
+        )
+        scores = [score for score, _ in produced]
+        assert all(scores[i] >= scores[i + 1] - 1e-12 for i in range(len(scores) - 1))
+        assert len(produced) == cloud.shape[0]
+
+    def test_enumerates_every_point_exactly_once(self, tree, cloud):
+        produced = [
+            index
+            for _, index in tree.best_first(
+                node_key=lambda box: float(box.upper.sum()),
+                point_key=lambda point: float(point.sum()),
+            )
+        ]
+        assert sorted(produced) == list(range(cloud.shape[0]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    d=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_range_query_property(n, d, seed):
+    """Property: for random clouds and boxes, the R-tree agrees with brute force."""
+    rng = np.random.default_rng(seed)
+    cloud = rng.random((n, d))
+    tree = RTree(cloud, leaf_capacity=8, fanout=4)
+    lower = rng.random(d) * 0.7
+    upper = lower + rng.random(d) * 0.5
+    expected = np.flatnonzero(np.all((cloud >= lower) & (cloud <= upper), axis=1))
+    assert np.array_equal(tree.range_query(lower, upper), expected)

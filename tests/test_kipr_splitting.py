@@ -1,0 +1,190 @@
+"""Unit tests for vertex profiles, the kIPR tests (Lemmas 3, 5, 7) and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.kipr import (
+    WorkingSet,
+    consistent_top_lambda,
+    find_kipr_violation,
+    is_kipr,
+    passes_lemma7,
+    region_profiles,
+    vertex_profile,
+)
+from repro.core.splitting import (
+    SplitDecision,
+    find_swap_candidates,
+    select_splitting_pair,
+    split_region,
+)
+from repro.data.examples import table2_dataset
+from repro.exceptions import InvalidParameterError
+from repro.preference.region import PreferenceRegion
+
+
+@pytest.fixture
+def table2_working(table2):
+    return WorkingSet.from_dataset(table2, 3)
+
+
+class TestWorkingSet:
+    def test_from_dataset(self, table2_working, table2):
+        assert table2_working.n_active == table2.n_options
+        assert table2_working.k == 3
+
+    def test_invalid_k(self, table2):
+        with pytest.raises(InvalidParameterError):
+            WorkingSet.from_dataset(table2, 0)
+
+    def test_scores_match_full_weights(self, table2, table2_working):
+        reduced = np.array([0.25, 0.15])
+        full = np.array([0.25, 0.15, 0.60])
+        assert np.allclose(table2_working.scores_at(reduced), table2.values @ full)
+
+    def test_without_options(self, table2_working):
+        smaller = table2_working.without_options([4], new_k=2)
+        assert smaller.n_active == 4
+        assert smaller.k == 2
+        assert 4 not in smaller.active.tolist()
+
+
+class TestVertexProfilesTable3:
+    """Table 3 of the paper: top-3 sets at the vertices of wR_i = [0.2,0.3]x[0.1,0.2]."""
+
+    def expected(self):
+        # (reduced vertex) -> (top-3 ids, top-3rd id)
+        return {
+            (0.2, 0.1): ({"p5", "p1", "p3"}, "p3"),
+            (0.2, 0.2): ({"p5", "p1", "p3"}, "p3"),
+            (0.3, 0.1): ({"p5", "p1", "p4"}, "p4"),
+            (0.3, 0.2): ({"p5", "p2", "p4"}, "p4"),
+        }
+
+    def test_profiles_match_paper(self, table2, table2_working):
+        expected = self.expected()
+        for vertex, (top_set, kth) in expected.items():
+            profile = vertex_profile(table2_working, np.array(vertex))
+            ids = {table2.id_of(i) for i in profile.top_set}
+            assert ids == top_set, f"vertex {vertex}"
+            assert table2.id_of(profile.kth) == kth, f"vertex {vertex}"
+
+    def test_region_is_not_kipr(self, table2_working, table2_region):
+        profiles = region_profiles(table2_working, table2_region)
+        assert not is_kipr(profiles)
+        violation = find_kipr_violation(profiles)
+        assert violation is not None and violation[2] == "set"
+
+    def test_lemma5_common_top1_is_p5(self, table2, table2_working, table2_region):
+        profiles = region_profiles(table2_working, table2_region)
+        lam, phi = consistent_top_lambda(profiles, 3)
+        assert lam == 1
+        assert {table2.id_of(i) for i in phi} == {"p5"}
+
+    def test_lemma7_fails_here(self, table2_working, table2_region):
+        # The top-2 sets differ across vertices ({p5,p1} vs {p5,p2}), so Lemma 7 does not apply.
+        profiles = region_profiles(table2_working, table2_region)
+        assert not passes_lemma7(profiles, 3)
+
+    def test_lemma7_trivial_for_k1(self, table2_working, table2_region):
+        profiles = region_profiles(table2_working, table2_region)
+        assert passes_lemma7(profiles, 1)
+
+
+class TestKIPRDetection:
+    def test_kipr_region_passes(self, figure1):
+        # [0.67, 0.8] is a kIPR in the running example (same top-3, same 3rd = p3).
+        working = WorkingSet.from_dataset(figure1, 3)
+        region = PreferenceRegion.interval(0.7, 0.8)
+        profiles = region_profiles(working, region)
+        assert is_kipr(profiles)
+        assert find_kipr_violation(profiles) is None
+
+    def test_case2_violation(self, figure1):
+        # [0.25, 0.6] has the same top-3 set {p1,p2,p4} but the 3rd changes at 0.4.
+        working = WorkingSet.from_dataset(figure1, 3)
+        region = PreferenceRegion.interval(0.25, 0.6)
+        profiles = region_profiles(working, region)
+        violation = find_kipr_violation(profiles)
+        assert violation is not None
+        assert violation[2] == "kth"
+
+    def test_consistent_top_lambda_zero_when_prefixes_differ(self, figure1):
+        working = WorkingSet.from_dataset(figure1, 3)
+        region = PreferenceRegion.interval(0.2, 0.8)
+        profiles = region_profiles(working, region)
+        lam, phi = consistent_top_lambda(profiles, 3)
+        # Top-1 is p2 at 0.2 but p1 at 0.8, and top-2 is {p2,p4} vs {p1,p2}:
+        # no common prefix, so Lemma 5 cannot prune anything here.
+        assert lam == 0
+        assert phi == frozenset()
+
+    def test_consistent_top_lambda_on_narrow_region(self, figure1):
+        # On [0.45, 0.6] the top-2 set is {p1, p2} at both ends, while the
+        # 3rd-ranked option is p4 throughout, so Lemma 5 finds lambda = 2.
+        working = WorkingSet.from_dataset(figure1, 3)
+        region = PreferenceRegion.interval(0.45, 0.6)
+        profiles = region_profiles(working, region)
+        lam, phi = consistent_top_lambda(profiles, 3)
+        assert lam == 2
+        assert {figure1.id_of(i) for i in phi} == {"p1", "p2"}
+
+
+class TestSplittingSelection:
+    def test_case2_pair_is_the_two_kth_options(self, figure1):
+        working = WorkingSet.from_dataset(figure1, 3)
+        region = PreferenceRegion.interval(0.25, 0.6)
+        profiles = region_profiles(working, region)
+        violation = find_kipr_violation(profiles)
+        decision = select_splitting_pair(
+            working, profiles[violation[0]], profiles[violation[1]], violation[2], "k-switch"
+        )
+        assert {decision.option_a, decision.option_b} == {profiles[0].kth, profiles[1].kth}
+
+    def test_k_switch_picks_closest_scoring_candidate(self, table2, table2_working, table2_region):
+        profiles = region_profiles(table2_working, table2_region)
+        violation = find_kipr_violation(profiles)
+        decision = select_splitting_pair(
+            table2_working,
+            profiles[violation[0]],
+            profiles[violation[1]],
+            violation[2],
+            "k-switch",
+        )
+        assert isinstance(decision, SplitDecision)
+        # pz1 must be the k-th option at one of the violating vertices.
+        assert decision.option_a in {profiles[violation[0]].kth, profiles[violation[1]].kth}
+
+    def test_unknown_strategy_rejected(self, table2_working, table2_region):
+        profiles = region_profiles(table2_working, table2_region)
+        with pytest.raises(ValueError):
+            select_splitting_pair(table2_working, profiles[0], profiles[1], "set", "fancy")
+
+    def test_swap_candidates_exist_for_genuine_violation(self, table2_working, table2_region):
+        profiles = region_profiles(table2_working, table2_region)
+        candidates = find_swap_candidates(table2_working, profiles, table2_region.polytope.tol)
+        assert candidates
+
+    def test_split_region_produces_two_full_dimensional_children(
+        self, table2_working, table2_region
+    ):
+        profiles = region_profiles(table2_working, table2_region)
+        violation = find_kipr_violation(profiles)
+        below, above, decision, cut_found = split_region(
+            table2_region, table2_working, profiles, violation
+        )
+        assert cut_found
+        assert below.is_full_dimensional() and above.is_full_dimensional()
+        total = below.volume() + above.volume()
+        assert total == pytest.approx(table2_region.volume(), rel=1e-6)
+
+    def test_split_walkthrough_of_table4(self, table2, table2_working, table2_region):
+        """The paper's Table 4: splitting wR_i by wHP(p3, p4) creates two new shared vertices."""
+        plane = table2_region.scoring_hyperplane(table2.values[2], table2.values[3])
+        below, above = table2_region.split(plane)
+        below_vertices = {tuple(np.round(v, 6)) for v in below.vertices}
+        above_vertices = {tuple(np.round(v, 6)) for v in above.vertices}
+        shared = below_vertices & above_vertices
+        # The splitting facet contributes exactly two shared vertices (v5 and v6 in Figure 2(b)).
+        assert len(shared) == 2
+        assert len(below_vertices) == 4 and len(above_vertices) == 4

@@ -1,0 +1,125 @@
+"""Integration tests reproducing the paper's worked examples end to end.
+
+These tests pin the exact intermediate and final values that the paper
+reports for its running example (Figure 1), the kIPR-testing example
+(Tables 2-4) and the optimized-testing example (Figure 5), so any regression
+in the geometric pipeline is caught against ground truth taken directly from
+the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import cheapest_enhancement
+from repro.core.toprr import solve_toprr
+from repro.core.verify import verify_result_by_sampling
+from repro.preference.region import PreferenceRegion
+
+
+class TestFigure1RunningExample:
+    """Figure 1: wR = [0.2, 0.8], k = 3 on the 6-laptop dataset."""
+
+    @pytest.fixture
+    def result(self, figure1, figure1_region):
+        return solve_toprr(figure1, k=3, region=figure1_region, method="tas*")
+
+    def test_vall_matches_the_kipr_boundaries(self, result):
+        # Section 3.3: V_all = {0.2, 0.4, 0.67, 0.8} (the kIPR boundaries).
+        values = sorted(np.round(result.vertices_reduced.ravel(), 3).tolist())
+        assert values == pytest.approx([0.2, 0.4, 0.667, 0.8], abs=1e-3)
+
+    def test_top_corner_is_top_ranking(self, result):
+        assert result.contains([1.0, 1.0])
+
+    def test_existing_options_classification(self, result, figure1):
+        # Figure 1(b): p1 and p2 lie inside oR (on its boundary); p3..p6 do not.
+        inside = {figure1.id_of(i) for i in result.existing_top_ranking_options()}
+        assert inside == {"p1", "p2"}
+
+    def test_p4_needs_enhancement_and_lands_in_oR(self, result, figure1):
+        p4 = figure1.values[figure1.index_of("p4")]
+        assert not result.contains(p4)
+        placement = cheapest_enhancement(result, p4)
+        assert placement.cost > 0
+        assert result.contains(placement.option + 1e-9)
+
+    def test_all_methods_agree(self, figure1, figure1_region):
+        results = {
+            method: solve_toprr(figure1, k=3, region=figure1_region, method=method)
+            for method in ("tas*", "tas", "pac")
+        }
+        probes = np.random.default_rng(0).random((200, 2))
+        reference = results["tas*"].contains_many(probes)
+        for method, result in results.items():
+            assert np.array_equal(result.contains_many(probes), reference), method
+
+    def test_sampling_verifier_passes(self, result):
+        assert verify_result_by_sampling(result, rng=1).passed
+
+    def test_smaller_k_gives_smaller_region(self, figure1, figure1_region):
+        # Section 3.1: the TopRR region for k' < k is a subset of the region for k.
+        volumes = []
+        for k in (1, 2, 3):
+            result = solve_toprr(figure1, k=k, region=figure1_region)
+            volumes.append(result.volume())
+        assert volumes[0] <= volumes[1] + 1e-9 <= volumes[2] + 2e-9
+
+
+class TestFigure5OptimizedTesting:
+    """Figure 5 / Section 5.2: k = 2, wR = [0.2, 0.6] — Lemma 7 avoids the split at 0.4."""
+
+    def test_lemma7_uses_only_the_input_vertices(self, figure1):
+        region = PreferenceRegion.interval(0.2, 0.6)
+        result = solve_toprr(figure1, k=2, region=region, method="tas*")
+        values = sorted(np.round(result.vertices_reduced.ravel(), 3).tolist())
+        assert values == pytest.approx([0.2, 0.6], abs=1e-9)
+        assert result.stats.n_lemma7_regions >= 1
+        assert result.stats.n_splits == 0
+
+    def test_plain_tas_splits_at_04(self, figure1):
+        region = PreferenceRegion.interval(0.2, 0.6)
+        result = solve_toprr(figure1, k=2, region=region, method="tas")
+        values = sorted(np.round(result.vertices_reduced.ravel(), 3).tolist())
+        assert values == pytest.approx([0.2, 0.4, 0.6], abs=1e-3)
+
+    def test_both_variants_define_the_same_region(self, figure1):
+        region = PreferenceRegion.interval(0.2, 0.6)
+        star = solve_toprr(figure1, k=2, region=region, method="tas*")
+        plain = solve_toprr(figure1, k=2, region=region, method="tas")
+        probes = np.random.default_rng(1).random((300, 2))
+        assert np.array_equal(star.contains_many(probes), plain.contains_many(probes))
+
+
+class TestTable2Example:
+    """Tables 2-4: the 5-laptop, 3-attribute example with wR = [0.2,0.3] x [0.1,0.2], k = 3."""
+
+    @pytest.fixture
+    def result(self, table2, table2_region):
+        return solve_toprr(table2, k=3, region=table2_region, method="tas*")
+
+    def test_lemma5_prunes_the_consistent_top_scorer_p5(self, result):
+        # Section 5.1: p5 is the common top-1 everywhere in wR, so Lemma 5
+        # removes it and decrements k.
+        assert result.stats.n_lemma5_reductions >= 1
+        assert result.stats.k_effective <= 2
+
+    def test_result_is_verified_by_sampling(self, result):
+        assert verify_result_by_sampling(result, rng=3).passed
+
+    def test_p5_is_top_ranking_already(self, result, table2):
+        assert result.contains(table2.values[table2.index_of("p5")])
+
+    def test_methods_agree(self, table2, table2_region):
+        results = {
+            method: solve_toprr(table2, k=3, region=table2_region, method=method)
+            for method in ("tas*", "tas", "pac")
+        }
+        probes = np.random.default_rng(2).random((300, 3))
+        reference = results["tas*"].contains_many(probes)
+        for method, result in results.items():
+            assert np.array_equal(result.contains_many(probes), reference), method
+
+    def test_tas_star_produces_fewer_vertices_than_pac(self, table2, table2_region):
+        star = solve_toprr(table2, k=3, region=table2_region, method="tas*")
+        pac = solve_toprr(table2, k=3, region=table2_region, method="pac")
+        assert star.n_vertices <= pac.n_vertices

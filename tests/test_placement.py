@@ -1,0 +1,120 @@
+"""Unit and integration tests for cost-optimal option creation and enhancement."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import (
+    PlacementResult,
+    cheapest_enhancement,
+    cheapest_new_option,
+    cost_saving_vs_competitors,
+    smallest_k_within_budget,
+)
+from repro.core.toprr import solve_toprr
+from repro.data.surrogates import cnet_laptops
+from repro.exceptions import InvalidParameterError
+from repro.preference.region import PreferenceRegion
+from repro.preference.space import PreferenceSpace
+from repro.topk.query import rank_of
+
+
+@pytest.fixture(scope="module")
+def laptop_result():
+    dataset = cnet_laptops()
+    region = PreferenceRegion.interval(0.7, 0.8)
+    return solve_toprr(dataset, k=3, region=region)
+
+
+class TestCheapestNewOption:
+    def test_placement_is_top_ranking(self, laptop_result):
+        placement = cheapest_new_option(laptop_result)
+        assert isinstance(placement, PlacementResult)
+        space = PreferenceSpace(2)
+        for reduced in np.linspace(0.7, 0.8, 7):
+            weight = space.to_full([reduced])
+            assert rank_of(laptop_result.dataset, weight, placement.option) <= 3
+
+    def test_placement_is_cheapest_among_samples(self, laptop_result):
+        placement = cheapest_new_option(laptop_result)
+        rng = np.random.default_rng(0)
+        samples = laptop_result.polytope.sample(300, rng)
+        sample_costs = np.sum(samples**2, axis=1)
+        assert placement.cost <= sample_costs.min() + 1e-6
+
+    def test_weighted_cost_changes_the_optimum(self, laptop_result):
+        balanced = cheapest_new_option(laptop_result)
+        battery_expensive = cheapest_new_option(laptop_result, weights=[0.1, 10.0])
+        assert battery_expensive.option[1] <= balanced.option[1] + 1e-9
+
+    def test_cost_matches_sum_of_squares(self, laptop_result):
+        placement = cheapest_new_option(laptop_result)
+        assert placement.cost == pytest.approx(float(np.sum(placement.option**2)), abs=1e-9)
+
+
+class TestCheapestEnhancement:
+    def test_already_top_ranking_option_is_unchanged(self, laptop_result):
+        existing = np.array([0.99, 0.99])
+        placement = cheapest_enhancement(laptop_result, existing)
+        assert placement.cost == pytest.approx(0.0, abs=1e-9)
+        assert np.allclose(placement.option, existing)
+
+    def test_enhancement_reaches_the_region(self, laptop_result):
+        weak_laptop = np.array([0.4, 0.4])
+        placement = cheapest_enhancement(laptop_result, weak_laptop)
+        assert placement.cost > 0
+        space = PreferenceSpace(2)
+        for reduced in (0.7, 0.75, 0.8):
+            weight = space.to_full([reduced])
+            assert rank_of(laptop_result.dataset, weight, placement.option + 1e-9) <= 3
+
+    def test_enhancement_cost_is_minimal_among_samples(self, laptop_result):
+        weak_laptop = np.array([0.4, 0.4])
+        placement = cheapest_enhancement(laptop_result, weak_laptop)
+        rng = np.random.default_rng(1)
+        samples = laptop_result.polytope.sample(300, rng)
+        distances = np.linalg.norm(samples - weak_laptop, axis=1)
+        assert placement.cost <= distances.min() + 1e-6
+
+
+class TestCostSaving:
+    def test_cost_saving_bounds(self, laptop_result):
+        placement = cheapest_new_option(laptop_result)
+        low, high = cost_saving_vs_competitors(laptop_result, placement)
+        assert low <= high
+        assert high <= 1.0
+
+    def test_no_competitors_case(self, figure1):
+        # k = 1 with a tiny region: only the very best options are inside oR
+        # and the competitor set may be empty after excluding boundary effects.
+        region = PreferenceRegion.interval(0.45, 0.5)
+        result = solve_toprr(figure1, 1, region)
+        placement = cheapest_new_option(result)
+        low, high = cost_saving_vs_competitors(result, placement)
+        assert (low, high) == (0.0, 0.0) or low <= high
+
+
+class TestBudgetedRedesign:
+    def test_smallest_k_within_budget_monotonicity(self, figure1):
+        region = PreferenceRegion.interval(0.3, 0.6)
+        p5 = figure1.values[4]
+        generous = smallest_k_within_budget(figure1, region, p5, budget=2.0, k_max=4)
+        tight = smallest_k_within_budget(figure1, region, p5, budget=0.05, k_max=4)
+        assert generous is not None
+        assert generous.k <= 4
+        if tight is not None:
+            assert tight.k >= generous.k
+            assert tight.cost <= 0.05 + 1e-9
+
+    def test_zero_budget_requires_already_top_ranking(self, figure1):
+        region = PreferenceRegion.interval(0.3, 0.6)
+        p2 = figure1.values[1]
+        placement = smallest_k_within_budget(figure1, region, p2, budget=0.0, k_max=3)
+        assert placement is not None
+        assert placement.cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_parameters(self, figure1):
+        region = PreferenceRegion.interval(0.3, 0.6)
+        with pytest.raises(InvalidParameterError):
+            smallest_k_within_budget(figure1, region, figure1.values[0], budget=-1.0, k_max=3)
+        with pytest.raises(InvalidParameterError):
+            smallest_k_within_budget(figure1, region, figure1.values[0], budget=1.0, k_max=0)

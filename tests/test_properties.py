@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for the core invariants of the paper.
+
+Each property mirrors a lemma or a structural guarantee:
+
+* Lemma 1 — vertex dominance extends to the whole convex region;
+* the r-skyband is a superset of every top-k result inside the region;
+* k-skyband / top-k consistency;
+* polytope splitting preserves volume and membership;
+* the affine reduced-space scoring form equals direct full-weight scoring;
+* the end-to-end TopRR membership predicate agrees with a brute-force
+  rank check at sampled weights.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.toprr import solve_toprr
+from repro.data.dataset import Dataset
+from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.polytope import ConvexPolytope
+from repro.preference.region import PreferenceRegion
+from repro.preference.space import PreferenceSpace
+from repro.pruning.rskyband import r_skyband
+from repro.topk.query import rank_of, top_k
+from repro.topk.skyband import k_skyband
+
+# Keep hypothesis example counts modest: every example runs real geometry.
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _dataset_strategy(min_rows=4, max_rows=40, min_cols=2, max_cols=4):
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda n: st.integers(min_cols, max_cols).flatmap(
+            lambda d: st.lists(
+                st.lists(
+                    st.floats(0.0, 1.0, allow_nan=False, width=32), min_size=d, max_size=d
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+
+
+@st.composite
+def dataset_and_region(draw, max_cols=4):
+    rows = draw(_dataset_strategy(max_cols=max_cols))
+    values = np.asarray(rows, dtype=float)
+    dataset = Dataset(values)
+    d = dataset.n_attributes
+    # A random hyper-rectangle inside the weight simplex.
+    side = draw(st.floats(0.02, 0.2))
+    anchor = draw(
+        st.lists(st.floats(0.0, 0.6, allow_nan=False), min_size=d - 1, max_size=d - 1)
+    )
+    anchor = np.asarray(anchor)
+    scale = min(1.0, 0.9 / max(anchor.sum() + side * (d - 1), 1e-9))
+    lower = anchor * scale
+    upper = lower + side * scale
+    region = PreferenceRegion.hyperrectangle(list(zip(lower.tolist(), upper.tolist())))
+    return dataset, region
+
+
+class TestLemma1Property:
+    @given(data=dataset_and_region())
+    @_SETTINGS
+    def test_vertex_dominance_extends_to_region(self, data):
+        """Lemma 1: if p scores >= p' at every vertex, it does so everywhere in the region."""
+        dataset, region = data
+        space = PreferenceSpace(dataset.n_attributes)
+        full_vertices = region.full_vertices()
+        scores = dataset.values @ full_vertices.T
+        rng = np.random.default_rng(0)
+        interior = region.sample_weights(8, rng)
+        interior_scores = dataset.values @ space.to_full_many(interior).T
+        for a in range(min(6, dataset.n_options)):
+            for b in range(min(6, dataset.n_options)):
+                if np.all(scores[a] >= scores[b] - 1e-12):
+                    assert np.all(interior_scores[a] >= interior_scores[b] - 1e-7)
+
+
+class TestFilterProperties:
+    @given(data=dataset_and_region(), k=st.integers(1, 5))
+    @_SETTINGS
+    def test_r_skyband_superset_of_topk(self, data, k):
+        dataset, region = data
+        k = min(k, dataset.n_options)
+        band = set(r_skyband(dataset, k, region).tolist())
+        space = PreferenceSpace(dataset.n_attributes)
+        rng = np.random.default_rng(1)
+        probes = np.vstack([region.sample_weights(5, rng), region.vertices])
+        for reduced in probes:
+            result = top_k(dataset, space.to_full(reduced), k)
+            assert set(result.indices.tolist()) <= band
+
+    @given(data=dataset_and_region(), k=st.integers(1, 5))
+    @_SETTINGS
+    def test_r_skyband_subset_of_k_skyband(self, data, k):
+        dataset, region = data
+        k = min(k, dataset.n_options)
+        assert set(r_skyband(dataset, k, region).tolist()) <= set(k_skyband(dataset, k).tolist())
+
+    @given(rows=_dataset_strategy(), k=st.integers(1, 6))
+    @_SETTINGS
+    def test_k_skyband_monotone_in_k(self, rows, k):
+        dataset = Dataset(np.asarray(rows, dtype=float))
+        k = min(k, dataset.n_options)
+        smaller = set(k_skyband(dataset, k).tolist())
+        larger = set(k_skyband(dataset, min(k + 1, dataset.n_options)).tolist())
+        assert smaller <= larger
+
+
+class TestScoringProperties:
+    @given(rows=_dataset_strategy(), w_raw=st.lists(st.floats(0.01, 1.0), min_size=4, max_size=4))
+    @_SETTINGS
+    def test_affine_form_equals_full_scoring(self, rows, w_raw):
+        values = np.asarray(rows, dtype=float)
+        dataset = Dataset(values)
+        d = dataset.n_attributes
+        space = PreferenceSpace(d)
+        raw = np.asarray(w_raw[:d], dtype=float)
+        full = raw / raw.sum()
+        reduced = space.to_reduced(full)
+        assert np.allclose(space.scores_at_reduced(values, reduced), values @ full, atol=1e-9)
+
+    @given(rows=_dataset_strategy(), k=st.integers(1, 6))
+    @_SETTINGS
+    def test_top_k_threshold_is_kth_order_statistic(self, rows, k):
+        values = np.asarray(rows, dtype=float)
+        dataset = Dataset(values)
+        k = min(k, dataset.n_options)
+        weight = np.full(dataset.n_attributes, 1.0 / dataset.n_attributes)
+        result = top_k(dataset, weight, k)
+        scores = np.sort(values @ weight)[::-1]
+        assert result.threshold == pytest.approx(scores[k - 1])
+
+
+class TestPolytopeProperties:
+    @given(
+        lower=st.lists(st.floats(0.0, 0.4), min_size=2, max_size=3),
+        width=st.floats(0.1, 0.5),
+        normal=st.lists(st.floats(-1.0, 1.0), min_size=2, max_size=3),
+        offset=st.floats(-0.5, 1.5),
+    )
+    @_SETTINGS
+    def test_split_preserves_volume_and_membership(self, lower, width, normal, offset):
+        dim = len(lower)
+        normal = np.resize(np.asarray(normal, dtype=float), dim)
+        if np.linalg.norm(normal) < 1e-6:
+            normal = np.ones(dim)
+        lower_arr = np.asarray(lower)
+        box = ConvexPolytope.from_box(lower_arr, lower_arr + width)
+        plane = Hyperplane(normal, offset)
+        below, above = box.split(plane)
+        assert below.volume() + above.volume() == pytest.approx(box.volume(), rel=1e-6, abs=1e-9)
+        rng = np.random.default_rng(0)
+        points = rng.uniform(lower_arr, lower_arr + width, size=(20, dim))
+        for point in points:
+            assert below.contains(point) or above.contains(point)
+
+
+class TestEndToEndProperty:
+    @given(data=dataset_and_region(max_cols=3), k=st.integers(1, 4))
+    @_SETTINGS
+    def test_membership_matches_rank_check(self, data, k):
+        """A sampled candidate inside oR is top-k at sampled weights of wR (and vice versa)."""
+        dataset, region = data
+        k = min(k, dataset.n_options)
+        result = solve_toprr(dataset, k, region)
+        space = PreferenceSpace(dataset.n_attributes)
+        rng = np.random.default_rng(2)
+        weights = space.to_full_many(np.vstack([region.sample_weights(4, rng), region.vertices]))
+        candidates = rng.random((12, dataset.n_attributes))
+        scores = candidates @ result.full_weights.T
+        slack = scores - result.thresholds[None, :]
+        for candidate, candidate_slack in zip(candidates, slack):
+            if np.all(candidate_slack >= 1e-7):
+                for weight in weights:
+                    assert rank_of(dataset, weight, candidate) <= k
+            elif np.any(candidate_slack <= -1e-7):
+                worst_vertex = int(np.argmin(candidate_slack))
+                weight = result.full_weights[worst_vertex]
+                assert rank_of(dataset, weight, candidate) > k

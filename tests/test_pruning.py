@@ -1,0 +1,128 @@
+"""Unit tests for the pre-filters: r-skyband, UTK filter and the comparison harness."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import generate_independent
+from repro.exceptions import InvalidParameterError
+from repro.preference.region import PreferenceRegion
+from repro.preference.space import PreferenceSpace
+from repro.pruning.base import FILTER_NAMES, apply_filter
+from repro.pruning.comparison import compare_filters
+from repro.pruning.rskyband import r_dominance_count, r_dominates, r_skyband, vertex_score_matrix
+from repro.pruning.utk_filter import utk_filter
+from repro.topk.query import top_k
+from repro.topk.skyband import k_skyband
+
+
+@pytest.fixture
+def ind_instance():
+    dataset = generate_independent(400, 3, rng=21)
+    region = PreferenceRegion.hyperrectangle([(0.3, 0.4), (0.2, 0.3)])
+    return dataset, region
+
+
+class TestRSkyband:
+    def test_vertex_score_matrix_shape(self, ind_instance):
+        dataset, region = ind_instance
+        matrix = vertex_score_matrix(dataset, region)
+        assert matrix.shape == (dataset.n_options, region.n_vertices)
+
+    def test_r_skyband_subset_of_k_skyband(self, ind_instance):
+        dataset, region = ind_instance
+        k = 5
+        r_band = set(r_skyband(dataset, k, region).tolist())
+        full_band = set(k_skyband(dataset, k).tolist())
+        assert r_band <= full_band
+
+    def test_r_skyband_contains_top_k_inside_region(self, ind_instance):
+        dataset, region = ind_instance
+        k = 4
+        band = set(r_skyband(dataset, k, region).tolist())
+        space = PreferenceSpace(dataset.n_attributes)
+        rng = np.random.default_rng(5)
+        for reduced in region.sample_weights(20, rng):
+            result = top_k(dataset, space.to_full(reduced), k)
+            assert set(result.indices.tolist()) <= band
+
+    def test_r_skyband_grows_with_k(self, ind_instance):
+        dataset, region = ind_instance
+        sizes = [len(r_skyband(dataset, k, region)) for k in (1, 3, 6, 10)]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_k(self, ind_instance):
+        dataset, region = ind_instance
+        with pytest.raises(InvalidParameterError):
+            r_skyband(dataset, 0, region)
+
+    def test_r_dominates(self, figure1):
+        region = PreferenceRegion.interval(0.2, 0.8)
+        # p2 = (0.7, 0.9) r-dominates p6 = (0.1, 0.1) everywhere.
+        assert r_dominates(figure1.values[1], figure1.values[5], region)
+        assert not r_dominates(figure1.values[5], figure1.values[1], region)
+        # p1 and p2 are incomparable on [0.2, 0.8] (p1 wins at 0.8, p2 at 0.2).
+        assert not r_dominates(figure1.values[0], figure1.values[1], region)
+        assert not r_dominates(figure1.values[1], figure1.values[0], region)
+
+    def test_r_dominance_count(self, figure1):
+        region = PreferenceRegion.interval(0.2, 0.8)
+        counts = r_dominance_count(figure1, region, cap=6)
+        # p6 is r-dominated by every other laptop.
+        assert counts[5] == 5
+        # The options that are top-ranked somewhere have no r-dominators.
+        assert counts[0] == 0 and counts[1] == 0
+
+
+class TestUTKFilter:
+    def test_utk_filter_is_tightest(self, ind_instance):
+        dataset, region = ind_instance
+        k = 3
+        utk = set(utk_filter(dataset, k, region).tolist())
+        r_band = set(r_skyband(dataset, k, region).tolist())
+        assert utk <= r_band
+
+    def test_utk_filter_covers_sampled_top_k(self, ind_instance):
+        dataset, region = ind_instance
+        k = 3
+        utk = set(utk_filter(dataset, k, region).tolist())
+        space = PreferenceSpace(dataset.n_attributes)
+        rng = np.random.default_rng(6)
+        for reduced in np.vstack([region.sample_weights(15, rng), region.vertices]):
+            result = top_k(dataset, space.to_full(reduced), k)
+            assert set(result.indices.tolist()) <= utk
+
+
+class TestFilterInterface:
+    def test_all_filters_run(self, ind_instance):
+        dataset, region = ind_instance
+        for name in FILTER_NAMES:
+            outcome = apply_filter(name, dataset, 3, region)
+            assert outcome.retained == len(outcome.indices) > 0
+            assert outcome.seconds >= 0.0
+
+    def test_region_aware_filters_require_region(self, ind_instance):
+        dataset, _ = ind_instance
+        with pytest.raises(InvalidParameterError):
+            apply_filter("r-skyband", dataset, 3, None)
+        with pytest.raises(InvalidParameterError):
+            apply_filter("utk", dataset, 3, None)
+
+    def test_unknown_filter(self, ind_instance):
+        dataset, region = ind_instance
+        with pytest.raises(InvalidParameterError):
+            apply_filter("mystery", dataset, 3, region)
+
+    def test_subset_result(self, ind_instance):
+        dataset, region = ind_instance
+        outcome = apply_filter("r-skyband", dataset, 3, region)
+        subset = outcome.subset(dataset)
+        assert subset.n_options == outcome.retained
+
+    def test_comparison_ranks_r_skyband_tighter_than_skyband(self, ind_instance):
+        dataset, region = ind_instance
+        comparison = compare_filters(dataset, 3, region, filters=["k-skyband", "r-skyband"])
+        results = comparison.results
+        assert results["r-skyband"].retained <= results["k-skyband"].retained
+        normalized = comparison.normalized()
+        assert max(v["retained"] for v in normalized.values()) == pytest.approx(1.0)
+        assert len(comparison.rows()) == 2

@@ -1,0 +1,119 @@
+"""Tests for regret-minimizing representative sets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.generators import generate_independent
+from repro.exceptions import InvalidParameterError
+from repro.preference.region import PreferenceRegion
+from repro.related.regret import greedy_regret_set, max_regret_ratio
+from repro.topk.onion import k_onion_layers
+from repro.topk.query import top_k
+
+
+@pytest.fixture(scope="module")
+def market():
+    return generate_independent(500, 3, rng=83)
+
+
+class TestMaxRegretRatio:
+    def test_full_dataset_has_zero_regret(self, market):
+        assert max_regret_ratio(market, range(market.n_options)) == pytest.approx(0.0)
+
+    def test_single_weak_option_has_high_regret(self, market):
+        weakest = int(np.argmin(market.values.sum(axis=1)))
+        assert max_regret_ratio(market, [weakest]) > 0.3
+
+    def test_regret_is_monotone_in_the_subset(self, market):
+        subset = list(range(10))
+        larger = list(range(40))
+        weights = np.random.default_rng(5).dirichlet(np.ones(3), size=200)
+        small_regret = max_regret_ratio(market, subset, weights=weights)
+        large_regret = max_regret_ratio(market, larger, weights=weights)
+        assert large_regret <= small_regret + 1e-12
+
+    def test_empty_subset_rejected(self, market):
+        with pytest.raises(InvalidParameterError):
+            max_regret_ratio(market, [])
+
+    def test_region_restricted_regret(self, market):
+        region = PreferenceRegion.hyperrectangle([(0.3, 0.4), (0.3, 0.4)])
+        subset = greedy_regret_set(market, 5, region=region)
+        restricted = max_regret_ratio(market, subset, region=region)
+        assert 0.0 <= restricted <= 1.0
+
+
+class TestGreedyRegretSet:
+    def test_size_and_uniqueness(self, market):
+        chosen = greedy_regret_set(market, 8)
+        assert chosen.shape == (8,)
+        assert len(set(chosen.tolist())) == 8
+
+    def test_regret_decreases_with_size(self, market):
+        weights = np.random.default_rng(7).dirichlet(np.ones(3), size=300)
+        regrets = [
+            max_regret_ratio(market, greedy_regret_set(market, size, rng=1), weights=weights)
+            for size in (1, 3, 8, 20)
+        ]
+        assert all(regrets[i + 1] <= regrets[i] + 1e-9 for i in range(len(regrets) - 1))
+
+    def test_small_set_already_has_low_regret(self, market):
+        chosen = greedy_regret_set(market, 10)
+        assert max_regret_ratio(market, chosen) < 0.15
+
+    def test_first_pick_is_a_strong_all_rounder(self, market):
+        chosen = greedy_regret_set(market, 1)
+        # The single representative must beat the dataset median score for
+        # the uniform user by a clear margin.
+        uniform = np.full(3, 1 / 3)
+        scores = market.values @ uniform
+        assert scores[chosen[0]] > np.median(scores)
+
+    def test_axis_specialists_are_covered(self, market):
+        # With enough representatives, each single-attribute user must find a
+        # near-optimal option in the set (regret below 5%).
+        chosen = greedy_regret_set(market, 15, rng=3)
+        for axis in range(3):
+            weight = np.eye(3)[axis]
+            best_overall = top_k(market, weight, 1).threshold
+            best_in_set = float((market.values[chosen] @ weight).max())
+            assert best_in_set >= 0.95 * best_overall
+
+    def test_first_onion_layer_members_rank_high_in_pick_order(self, market):
+        # The earliest greedy picks should come from the first onion layers
+        # (convex-hull options are the only possible top-1 answers).
+        layer_one = set(k_onion_layers(market, 1).tolist())
+        chosen = greedy_regret_set(market, 3)
+        assert any(int(index) in layer_one for index in chosen[:3])
+
+    def test_size_larger_than_dataset_is_clipped(self):
+        tiny = Dataset(np.random.default_rng(0).random((4, 2)))
+        assert greedy_regret_set(tiny, 10).shape == (4,)
+
+    def test_invalid_size(self, market):
+        with pytest.raises(InvalidParameterError):
+            greedy_regret_set(market, 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=80),
+    d=st.integers(min_value=2, max_value=4),
+    size=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_greedy_regret_property(n, d, size, seed):
+    """Property: the greedy set is valid and its regret never exceeds the worst single option."""
+    rng = np.random.default_rng(seed)
+    dataset = Dataset(rng.random((n, d)) + 0.01)
+    chosen = greedy_regret_set(dataset, size, n_witnesses=64, rng=seed)
+    assert len(set(chosen.tolist())) == min(size, n)
+    weights = rng.dirichlet(np.ones(d), size=50)
+    regret = max_regret_ratio(dataset, chosen, weights=weights)
+    worst_single = max(
+        max_regret_ratio(dataset, [index], weights=weights) for index in range(n)
+    )
+    assert 0.0 <= regret <= worst_single + 1e-9

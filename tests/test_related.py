@@ -1,0 +1,264 @@
+"""Tests for the related-query package (reverse top-k, maximum rank, why-not).
+
+Besides exercising each query on its own, these tests cross-check the
+queries against each other and against TopRR:
+
+* an option placed inside ``oR`` must have a reverse top-k region covering
+  all of ``wR``;
+* the maximum-rank witness must actually attain the reported rank;
+* why-not answers must bring the option into the top-k at the reported cost.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import cheapest_new_option
+from repro.core.toprr import solve_toprr
+from repro.data.dataset import Dataset
+from repro.data.examples import figure1_dataset
+from repro.data.generators import generate_independent
+from repro.exceptions import InfeasibleProblemError, InvalidParameterError
+from repro.preference.region import PreferenceRegion
+from repro.preference.space import PreferenceSpace
+from repro.related import (
+    bichromatic_reverse_top_k,
+    maximum_rank,
+    monochromatic_reverse_top_k,
+    why_not_option_modification,
+    why_not_weight_perturbation,
+)
+from repro.related.reverse_topk import reverse_top_k_contains_region
+from repro.topk.query import rank_of, top_k
+
+
+@pytest.fixture(scope="module")
+def market():
+    return generate_independent(400, 3, rng=71)
+
+
+class TestMonochromaticReverseTopK:
+    def test_figure1_strong_laptop_wins_everywhere(self):
+        # p2 = (0.7, 0.9) is in the top-3 for every preference in [0.2, 0.8]
+        # (see Figure 1(d) of the paper).
+        data = figure1_dataset()
+        region = PreferenceRegion.interval(0.2, 0.8)
+        answer = monochromatic_reverse_top_k(
+            data, data.values[1], 3, region=region, exclude_index=1
+        )
+        assert answer.covers_region()
+
+    def test_figure1_weak_laptop_never_wins(self):
+        # p6 = (0.1, 0.1) is dominated by every other laptop, so it is never
+        # in the top-3 of the remaining five.
+        data = figure1_dataset()
+        answer = monochromatic_reverse_top_k(data, data.values[5], 3, exclude_index=5)
+        assert answer.winning_cells == []
+        assert answer.coverage() == 0.0
+
+    def test_figure1_partial_coverage(self):
+        # p4 = (0.3, 0.8) is in the top-3 only for battery-leaning preferences
+        # (w[0] below roughly 0.4 in Figure 1(d)).
+        data = figure1_dataset()
+        region = PreferenceRegion.interval(0.2, 0.8)
+        answer = monochromatic_reverse_top_k(
+            data, data.values[3], 3, region=region, exclude_index=3
+        )
+        assert 0.0 < answer.coverage() < 1.0
+        assert answer.covers(np.array([0.25]))
+        assert not answer.covers(np.array([0.75]))
+
+    def test_cells_agree_with_pointwise_ranks(self, market):
+        option = np.array([0.9, 0.55, 0.6])
+        k = 10
+        region = PreferenceRegion.hyperrectangle([(0.2, 0.5), (0.2, 0.5)])
+        answer = monochromatic_reverse_top_k(market, option, k, region=region)
+        rng = np.random.default_rng(5)
+        space = PreferenceSpace(3)
+        samples = region.sample_weights(200, rng)
+        for reduced in samples:
+            expected = rank_of(market, space.to_full(reduced), option) <= k
+            assert answer.covers(reduced) == expected
+
+    def test_coverage_grows_with_k(self, market):
+        option = np.array([0.8, 0.5, 0.55])
+        region = PreferenceRegion.hyperrectangle([(0.2, 0.5), (0.2, 0.5)])
+        coverages = [
+            monochromatic_reverse_top_k(market, option, k, region=region).coverage()
+            for k in (1, 5, 20)
+        ]
+        assert coverages == sorted(coverages)
+
+    def test_consistency_with_toprr_placement(self, market):
+        region = PreferenceRegion.hyperrectangle([(0.3, 0.36), (0.3, 0.36)])
+        k = 8
+        result = solve_toprr(market, k, region)
+        placement = cheapest_new_option(result)
+        assert reverse_top_k_contains_region(market, placement.option, k, region)
+        # A clearly uncompetitive option must not cover the region.
+        assert not reverse_top_k_contains_region(market, np.full(3, 0.01), k, region)
+
+    def test_input_validation(self, market):
+        with pytest.raises(InvalidParameterError):
+            monochromatic_reverse_top_k(market, np.array([0.5, 0.5]), 3)
+        with pytest.raises(InvalidParameterError):
+            monochromatic_reverse_top_k(market, np.full(3, 0.5), 0)
+        with pytest.raises(InvalidParameterError):
+            monochromatic_reverse_top_k(
+                market, np.full(3, 0.5), 3, region=PreferenceRegion.interval(0.2, 0.4)
+            )
+
+
+class TestBichromaticReverseTopK:
+    def test_matches_per_vector_topk(self, market):
+        rng = np.random.default_rng(11)
+        raw = rng.random((50, 3)) + 0.05
+        weights = raw / raw.sum(axis=1, keepdims=True)
+        option = np.array([0.85, 0.6, 0.55])
+        k = 15
+        answer = set(bichromatic_reverse_top_k(market, option, k, weights).tolist())
+        for index, weight in enumerate(weights):
+            expected = rank_of(market, weight, option) <= k
+            assert (index in answer) == expected
+
+    def test_existing_option_excluded_from_competition(self):
+        data = figure1_dataset()
+        weights = np.array([[0.5, 0.5], [0.9, 0.1]])
+        answer = bichromatic_reverse_top_k(data, data.values[0], 1, weights, exclude_index=0)
+        # p1 = (0.9, 0.4) is the top-1 for the performance-heavy customer.
+        assert 1 in answer.tolist()
+
+    def test_dimension_mismatch(self, market):
+        with pytest.raises(InvalidParameterError):
+            bichromatic_reverse_top_k(market, np.full(3, 0.5), 3, np.ones((4, 2)))
+
+
+class TestMaximumRank:
+    def test_witness_attains_the_reported_rank(self, market):
+        option = np.array([0.7, 0.6, 0.65])
+        answer = maximum_rank(market, option)
+        attained = rank_of(market, answer.witness_full, option)
+        assert attained == answer.best_rank
+
+    def test_rank_is_minimal_over_samples(self, market):
+        option = np.array([0.7, 0.6, 0.65])
+        answer = maximum_rank(market, option)
+        rng = np.random.default_rng(23)
+        region = PreferenceRegion.full_simplex(3)
+        for reduced in region.sample_weights(300, rng):
+            space = PreferenceSpace(3)
+            assert rank_of(market, space.to_full(reduced), option) >= answer.best_rank
+
+    def test_dominant_option_has_rank_one(self, market):
+        answer = maximum_rank(market, np.array([0.99, 0.99, 0.99]))
+        assert answer.best_rank == 1
+
+    def test_restricting_the_region_cannot_improve_the_rank(self, market):
+        option = np.array([0.75, 0.5, 0.6])
+        everywhere = maximum_rank(market, option)
+        narrow = maximum_rank(
+            market, option, region=PreferenceRegion.hyperrectangle([(0.4, 0.45), (0.4, 0.45)])
+        )
+        assert narrow.best_rank >= everywhere.best_rank
+
+    def test_existing_option_not_its_own_competitor(self):
+        data = figure1_dataset()
+        answer = maximum_rank(data, data.values[0], exclude_index=0)
+        assert answer.best_rank == 1  # p1 is top-1 for performance-only preferences
+
+    def test_input_validation(self, market):
+        with pytest.raises(InvalidParameterError):
+            maximum_rank(market, np.array([0.5, 0.5]))
+
+
+class TestWhyNotOption:
+    def test_modification_reaches_the_topk(self, market):
+        weight = np.array([0.4, 0.35, 0.25])
+        option = np.array([0.3, 0.3, 0.3])
+        answer = why_not_option_modification(market, option, weight, 10)
+        assert answer.rank_before > 10
+        assert answer.rank_after <= 10
+        assert answer.cost > 0
+
+    def test_already_qualified_option_unchanged(self, market):
+        weight = np.array([0.4, 0.35, 0.25])
+        option = np.array([0.99, 0.99, 0.99])
+        answer = why_not_option_modification(market, option, weight, 10)
+        assert answer.cost == 0.0
+        assert np.array_equal(answer.modified, option)
+
+    def test_modification_is_minimal(self, market):
+        """Any cheaper modification along any direction must miss the top-k."""
+        weight = np.array([0.4, 0.35, 0.25])
+        option = np.array([0.3, 0.3, 0.3])
+        answer = why_not_option_modification(market, option, weight, 10)
+        threshold = top_k(market, weight, 10).threshold
+        assert float(answer.modified @ weight) == pytest.approx(threshold, abs=1e-9)
+        shortened = option + 0.95 * (answer.modified - option)
+        assert rank_of(market, weight, shortened) > 10
+
+    def test_figure1_enhancement(self):
+        data = figure1_dataset()
+        weight = np.array([0.5, 0.5])
+        answer = why_not_option_modification(
+            data, data.values[5], weight, 2, exclude_index=5
+        )
+        assert answer.rank_after <= 2
+
+
+class TestWhyNotWeight:
+    def test_perturbation_reaches_the_topk(self, market):
+        # A battery specialist queried with a performance-heavy weight vector:
+        # it is far outside the top-10 originally but wins for battery-leaning
+        # preferences, so a feasible (non-trivial) perturbation exists.
+        weight = np.array([0.7, 0.15, 0.15])
+        option = np.array([0.3, 0.99, 0.3])
+        answer = why_not_weight_perturbation(market, option, weight, 10)
+        assert answer.rank_before > 10
+        assert answer.rank_after <= 10
+        assert answer.distance > 0
+
+    def test_zero_distance_when_already_in_topk(self, market):
+        weight = np.array([0.3, 0.4, 0.3])
+        option = np.array([0.99, 0.99, 0.99])
+        answer = why_not_weight_perturbation(market, option, weight, 5)
+        assert answer.distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_infeasible_when_option_never_wins(self):
+        data = figure1_dataset()
+        with pytest.raises(InfeasibleProblemError):
+            why_not_weight_perturbation(
+                data, data.values[5], np.array([0.5, 0.5]), 3, exclude_index=5
+            )
+
+    def test_distance_shrinks_with_larger_k(self, market):
+        weight = np.array([0.7, 0.15, 0.15])
+        option = np.array([0.3, 0.99, 0.3])
+        tight = why_not_weight_perturbation(market, option, weight, 5)
+        loose = why_not_weight_perturbation(market, option, weight, 25)
+        assert loose.distance <= tight.distance + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=60),
+    k=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_reverse_topk_membership_property(n, k, seed):
+    """Property: reverse top-k cell membership equals the pointwise rank test (2-d options)."""
+    rng = np.random.default_rng(seed)
+    dataset = Dataset(rng.random((n, 2)))
+    option = rng.random(2)
+    answer = monochromatic_reverse_top_k(dataset, option, min(k, n))
+    space = PreferenceSpace(2)
+    for reduced in rng.random((25, 1)):
+        expected = rank_of(dataset, space.to_full(reduced), option) <= min(k, n)
+        covered = answer.covers(reduced)
+        if covered != expected:
+            # Disagreements may only occur within tolerance of a tie.
+            scores = dataset.values @ space.to_full(reduced)
+            own = float(option @ space.to_full(reduced))
+            margin = np.min(np.abs(scores - own)) if scores.size else 1.0
+            assert margin <= 1e-6

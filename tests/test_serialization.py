@@ -1,0 +1,91 @@
+"""Tests for saving and loading TopRR results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.placement import cheapest_new_option
+from repro.core.serialization import (
+    SCHEMA_VERSION,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.core.toprr import solve_toprr
+from repro.data.generators import generate_independent
+from repro.exceptions import InvalidParameterError
+from repro.preference.region import PreferenceRegion
+
+
+@pytest.fixture(scope="module")
+def market():
+    return generate_independent(1_200, 3, rng=113)
+
+
+@pytest.fixture(scope="module")
+def result(market):
+    region = PreferenceRegion.hyperrectangle([(0.32, 0.38), (0.3, 0.36)])
+    return solve_toprr(market, 6, region)
+
+
+class TestRoundTrip:
+    def test_membership_predicate_survives_the_round_trip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        loaded = load_result(path)
+        probes = np.random.default_rng(1).random((400, 3))
+        assert np.array_equal(loaded.contains_many(probes), result.contains_many(probes))
+
+    def test_geometry_survives_the_round_trip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        loaded = load_result(path)
+        assert loaded.k == result.k
+        assert loaded.n_vertices == result.n_vertices
+        assert loaded.volume() == pytest.approx(result.volume(), rel=1e-6)
+        assert np.allclose(np.sort(loaded.thresholds), np.sort(result.thresholds))
+
+    def test_placement_on_the_loaded_result(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        loaded = load_result(path)
+        original = cheapest_new_option(result)
+        reloaded = cheapest_new_option(loaded)
+        assert np.allclose(reloaded.option, original.option, atol=1e-6)
+
+    def test_loading_with_the_original_dataset(self, market, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        loaded = load_result(path, dataset=market)
+        assert set(loaded.existing_top_ranking_options().tolist()) == set(
+            result.existing_top_ranking_options().tolist()
+        )
+
+    def test_file_is_human_readable_json(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "toprr-result"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["k"] == result.k
+        assert len(payload["thresholds"]) == result.n_vertices
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            result_from_dict({"format": "something-else"})
+
+    def test_newer_schema_rejected(self, result):
+        payload = result_to_dict(result)
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(InvalidParameterError):
+            result_from_dict(payload)
+
+    def test_mismatched_dataset_rejected(self, result):
+        payload = result_to_dict(result)
+        wrong = generate_independent(50, 4, rng=0)
+        with pytest.raises(InvalidParameterError):
+            result_from_dict(payload, dataset=wrong)
+
+    def test_schema_stub_keeps_attribute_names(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        loaded = load_result(path)
+        assert loaded.dataset.attribute_names == result.dataset.attribute_names

@@ -1,0 +1,146 @@
+"""Tests for the BBS skyline/k-skyband algorithms and the cardinality estimates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.generators import generate_anticorrelated, generate_correlated, generate_independent
+from repro.exceptions import InvalidParameterError
+from repro.index import RTree
+from repro.skyline import (
+    bbs_k_skyband,
+    bbs_skyline,
+    dominates,
+    expected_k_skyband_size,
+    expected_skyline_size,
+    harmonic_number,
+)
+from repro.skyline.bbs import pruned_node_fraction
+from repro.topk.query import top_k
+from repro.topk.skyband import k_skyband, skyline
+
+
+@pytest.fixture(scope="module")
+def ind_dataset():
+    return generate_independent(600, 3, rng=29)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates(np.array([0.9, 0.8]), np.array([0.5, 0.5]))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(np.array([0.5, 0.5]), np.array([0.5, 0.5]))
+
+    def test_incomparable_points(self):
+        assert not dominates(np.array([0.9, 0.1]), np.array([0.1, 0.9]))
+        assert not dominates(np.array([0.1, 0.9]), np.array([0.9, 0.1]))
+
+    def test_dominance_with_one_equal_coordinate(self):
+        assert dominates(np.array([0.5, 0.9]), np.array([0.5, 0.5]))
+
+
+class TestBBSAgainstReference:
+    def test_skyline_matches_sort_based(self, ind_dataset):
+        assert np.array_equal(bbs_skyline(ind_dataset), skyline(ind_dataset))
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 10])
+    def test_skyband_matches_sort_based(self, ind_dataset, k):
+        assert np.array_equal(bbs_k_skyband(ind_dataset, k), k_skyband(ind_dataset, k))
+
+    def test_figure1_skyline(self, figure1):
+        ids = {figure1.id_of(i) for i in bbs_skyline(figure1)}
+        assert ids == {"p1", "p2"}
+
+    def test_reusing_a_tree(self, ind_dataset):
+        tree = RTree(ind_dataset.values)
+        first = bbs_k_skyband(ind_dataset, 3, tree=tree)
+        second = bbs_k_skyband(ind_dataset, 3, tree=tree)
+        assert np.array_equal(first, second)
+
+    def test_foreign_tree_rejected(self, ind_dataset):
+        tree = RTree(np.random.default_rng(0).random((10, 3)))
+        with pytest.raises(InvalidParameterError):
+            bbs_k_skyband(ind_dataset, 3, tree=tree)
+
+    def test_invalid_k(self, ind_dataset):
+        with pytest.raises(InvalidParameterError):
+            bbs_k_skyband(ind_dataset, 0)
+
+    def test_skyband_contains_top_k_for_random_weights(self, ind_dataset):
+        k = 4
+        band = set(bbs_k_skyband(ind_dataset, k).tolist())
+        rng = np.random.default_rng(31)
+        for _ in range(15):
+            raw = rng.random(3) + 0.05
+            weight = raw / raw.sum()
+            assert set(top_k(ind_dataset, weight, k).indices.tolist()) <= band
+
+    def test_pruning_happens_on_correlated_data(self):
+        dataset = generate_correlated(2_000, 3, rng=41)
+        assert pruned_node_fraction(dataset, 2) > 0.3
+
+    def test_anticorrelated_band_is_larger_than_correlated(self):
+        cor = generate_correlated(1_000, 3, rng=51)
+        anti = generate_anticorrelated(1_000, 3, rng=52)
+        assert bbs_k_skyband(anti, 3).size > bbs_k_skyband(cor, 3).size
+
+
+class TestCardinalityEstimates:
+    def test_harmonic_number_small_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == pytest.approx(1.0)
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_harmonic_number_asymptotic_matches_exact(self):
+        exact = sum(1.0 / i for i in range(1, 1001))
+        assert harmonic_number(1000) == pytest.approx(exact, rel=1e-9)
+
+    def test_harmonic_number_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            harmonic_number(-1)
+
+    def test_skyline_size_one_dimension(self):
+        assert expected_skyline_size(1_000, 1) == 1.0
+
+    def test_skyline_size_two_dimensions_is_harmonic(self):
+        assert expected_skyline_size(100, 2) == pytest.approx(harmonic_number(100))
+
+    def test_skyline_size_monotone_in_dimension(self):
+        sizes = [expected_skyline_size(10_000, d) for d in (2, 3, 4, 5)]
+        assert sizes == sorted(sizes)
+
+    def test_skyline_size_never_exceeds_n(self):
+        assert expected_skyline_size(10, 8) <= 10.0
+
+    def test_skyband_size_bounds(self):
+        estimate = expected_k_skyband_size(10_000, 3, 5)
+        assert 5.0 <= estimate <= 10_000.0
+        assert expected_k_skyband_size(100, 3, 200) == 100.0
+
+    def test_skyband_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            expected_k_skyband_size(100, 3, 0)
+
+    def test_estimate_is_in_the_right_ballpark(self):
+        """The IND estimate should be within a small factor of the measured skyline."""
+        dataset = generate_independent(5_000, 3, rng=61)
+        measured = skyline(dataset).size
+        estimate = expected_skyline_size(5_000, 3)
+        assert estimate / 4 <= measured <= estimate * 4
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=150),
+    d=st.integers(min_value=2, max_value=4),
+    k=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_bbs_matches_reference_property(n, d, k, seed):
+    """Property: BBS and the sort-based skyband agree on random datasets."""
+    rng = np.random.default_rng(seed)
+    dataset = Dataset(rng.random((n, d)))
+    assert np.array_equal(bbs_k_skyband(dataset, k), k_skyband(dataset, k))

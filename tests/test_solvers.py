@@ -1,0 +1,173 @@
+"""Integration tests: solver agreement, UTK partitioning, ablations and the verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.kipr import WorkingSet, is_kipr, region_profiles
+from repro.core.splitting import region_is_rank_invariant
+from repro.core.pac import PACSolver
+from repro.core.stats import SolverStats
+from repro.core.tas import TASSolver
+from repro.core.tas_star import TASStarSolver
+from repro.core.toprr import solve_toprr
+from repro.core.utk import UTKPartitioner, possible_top_k_options
+from repro.core.verify import verify_result_by_sampling
+from repro.data.generators import generate_anticorrelated, generate_correlated, generate_independent
+from repro.preference.random_regions import random_hypercube_region
+from repro.preference.region import PreferenceRegion
+from repro.preference.space import PreferenceSpace
+from repro.pruning.rskyband import r_skyband
+from repro.topk.query import top_k
+
+
+def _membership_signature(result, probes):
+    return result.contains_many(probes)
+
+
+@pytest.mark.parametrize(
+    "generator,n,d,k,sigma,seed",
+    [
+        (generate_independent, 1_500, 3, 5, 0.08, 1),
+        (generate_independent, 2_000, 4, 8, 0.04, 2),
+        (generate_correlated, 1_500, 3, 5, 0.08, 3),
+        (generate_anticorrelated, 1_500, 3, 5, 0.05, 4),
+        (generate_independent, 1_000, 5, 4, 0.03, 5),
+    ],
+)
+class TestSolverAgreement:
+    def test_methods_agree_and_verify(self, generator, n, d, k, sigma, seed):
+        dataset = generator(n, d, rng=seed)
+        region = random_hypercube_region(d, sigma, rng=seed + 100)
+        results = {
+            method: solve_toprr(dataset, k, region, method=method)
+            for method in ("tas*", "tas", "pac")
+        }
+        probes = np.random.default_rng(seed).random((400, d))
+        reference = _membership_signature(results["tas*"], probes)
+        for method, result in results.items():
+            assert np.array_equal(_membership_signature(result, probes), reference), method
+        assert verify_result_by_sampling(
+            results["tas*"], n_weight_samples=16, n_option_samples=128, rng=seed
+        ).passed
+
+
+class TestSolverOrdering:
+    def test_tas_star_never_produces_more_vertices(self):
+        dataset = generate_independent(2_000, 4, rng=31)
+        region = random_hypercube_region(4, 0.05, rng=32)
+        star = solve_toprr(dataset, 10, region, method="tas*")
+        plain = solve_toprr(dataset, 10, region, method="tas")
+        pac = solve_toprr(dataset, 10, region, method="pac")
+        assert star.n_vertices <= plain.n_vertices
+        assert star.stats.n_splits <= plain.stats.n_splits
+        assert star.n_vertices <= pac.n_vertices
+
+    def test_ablation_lemma7_reduces_vertices(self):
+        dataset = generate_independent(2_000, 4, rng=41)
+        region = random_hypercube_region(4, 0.05, rng=42)
+        enabled = solve_toprr(dataset, 10, region, method=TASStarSolver(use_lemma7=True))
+        disabled = solve_toprr(dataset, 10, region, method=TASStarSolver(use_lemma7=False))
+        assert enabled.n_vertices <= disabled.n_vertices
+
+    def test_ablation_k_switch_reduces_vertices(self):
+        dataset = generate_independent(2_000, 4, rng=51)
+        region = random_hypercube_region(4, 0.05, rng=52)
+        enabled = solve_toprr(dataset, 10, region, method=TASStarSolver(use_k_switch=True))
+        disabled = solve_toprr(dataset, 10, region, method=TASStarSolver(use_k_switch=False))
+        assert enabled.n_vertices <= disabled.n_vertices * 1.25 + 5
+
+    def test_solver_descriptions(self):
+        assert TASSolver().describe()["strategy"] == "random"
+        assert TASStarSolver().describe()["use_k_switch"] is True
+        assert "UTK" in PACSolver().describe()["building_block"]
+
+
+class TestUTKPartitioner:
+    @pytest.fixture
+    def instance(self):
+        dataset = generate_independent(800, 3, rng=61)
+        region = random_hypercube_region(3, 0.08, rng=62)
+        k = 4
+        filtered = dataset.subset(r_skyband(dataset, k, region))
+        return dataset, filtered, region, k
+
+    def test_cells_cover_the_region(self, instance):
+        _dataset, filtered, region, k = instance
+        cells = UTKPartitioner().partition(filtered, k, region)
+        total = sum(cell.region.volume() for cell in cells)
+        assert total == pytest.approx(region.volume(), rel=1e-3)
+
+    def test_every_cell_is_rank_invariant(self, instance):
+        # Output cells are kIPRs up to score ties on their boundary facets:
+        # either the exact vertex profiles agree, or every disagreement comes
+        # from a pair of options that never strictly swaps inside the cell.
+        _dataset, filtered, region, k = instance
+        working = WorkingSet.from_dataset(filtered, k)
+        cells = UTKPartitioner().partition(filtered, k, region)
+        exact_kipr = 0
+        for cell in cells:
+            profiles = region_profiles(working, cell.region)
+            if is_kipr(profiles):
+                exact_kipr += 1
+            assert region_is_rank_invariant(working, profiles)
+        assert exact_kipr >= 1
+
+    def test_cell_top_sets_match_centroid_topk(self, instance):
+        _dataset, filtered, region, k = instance
+        space = PreferenceSpace(filtered.n_attributes)
+        cells = UTKPartitioner().partition(filtered, k, region)
+        for cell in cells:
+            centroid = cell.region.centroid()
+            result = top_k(filtered, space.to_full(centroid), k)
+            assert result.index_set == cell.top_set
+
+    def test_possible_top_k_options_union(self, instance):
+        _dataset, filtered, region, k = instance
+        indices = possible_top_k_options(filtered, k, region)
+        cells = UTKPartitioner().partition(filtered, k, region)
+        union = set().union(*(cell.top_set for cell in cells))
+        assert set(indices.tolist()) == union
+
+    def test_stats_collected(self, instance):
+        _dataset, filtered, region, k = instance
+        stats = SolverStats()
+        UTKPartitioner().partition(filtered, k, region, stats=stats)
+        assert stats.n_regions_tested >= 1
+        assert stats.extra["n_cells"] >= 1
+
+
+class TestVerifier:
+    def test_verifier_detects_a_corrupted_result(self):
+        dataset = generate_independent(1_000, 3, rng=71)
+        region = random_hypercube_region(3, 0.08, rng=72)
+        result = solve_toprr(dataset, 5, region)
+        assert verify_result_by_sampling(result, rng=0).passed
+        # Corrupt the thresholds: pretending the bar is much lower should let
+        # non-top-k placements into the region and be caught by the verifier.
+        result.thresholds = result.thresholds * 0.5
+        report = verify_result_by_sampling(result, rng=0)
+        assert not report.passed
+
+    def test_report_counts_are_consistent(self):
+        dataset = generate_independent(500, 3, rng=73)
+        region = random_hypercube_region(3, 0.05, rng=74)
+        result = solve_toprr(dataset, 3, region)
+        report = verify_result_by_sampling(result, n_weight_samples=8, n_option_samples=64, rng=1)
+        assert report.n_inside_checked + report.n_outside_checked <= report.n_option_samples
+        assert report.n_weight_samples >= 8
+
+
+class TestSafetyCaps:
+    def test_max_regions_cap_raises(self):
+        dataset = generate_independent(2_000, 4, rng=81)
+        region = random_hypercube_region(4, 0.1, rng=82)
+        solver = TASStarSolver(max_regions=2)
+        with pytest.raises(RuntimeError):
+            solve_toprr(dataset, 20, region, method=solver)
+
+    def test_k_equals_one_fast_path(self, figure1):
+        region = PreferenceRegion.interval(0.3, 0.7)
+        result = solve_toprr(figure1, 1, region)
+        # For k = 1 Lemma 6 applies directly: only the input vertices are needed.
+        assert result.n_vertices == 2
+        assert verify_result_by_sampling(result, rng=5).passed

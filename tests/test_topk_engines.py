@@ -1,0 +1,175 @@
+"""Cross-check tests for the alternative top-k engines (branch-and-bound, TA, NRA).
+
+All engines must return exactly the same answer as the exact reference
+implementation :func:`repro.topk.query.top_k`; their value is in how much of
+the dataset they can avoid touching, which the access-count assertions cover.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.generators import generate_anticorrelated, generate_correlated, generate_independent
+from repro.exceptions import InvalidParameterError
+from repro.index import RTree
+from repro.topk.branch_and_bound import branch_and_bound_top_k, incremental_top, node_access_count
+from repro.topk.query import top_k
+from repro.topk.threshold import (
+    AccessStatistics,
+    SortedListIndex,
+    no_random_access_algorithm,
+    threshold_algorithm,
+)
+
+
+def _random_weight(d, rng):
+    raw = rng.random(d) + 0.05
+    return raw / raw.sum()
+
+
+@pytest.fixture(scope="module")
+def ind_dataset():
+    return generate_independent(800, 4, rng=17)
+
+
+@pytest.fixture(scope="module")
+def ind_tree(ind_dataset):
+    return RTree(ind_dataset.values)
+
+
+@pytest.fixture(scope="module")
+def ind_lists(ind_dataset):
+    return SortedListIndex.build(ind_dataset)
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("k", [1, 3, 10, 50])
+    def test_matches_reference(self, ind_dataset, ind_tree, k):
+        rng = np.random.default_rng(k)
+        for _ in range(5):
+            weight = _random_weight(4, rng)
+            reference = top_k(ind_dataset, weight, k)
+            candidate = branch_and_bound_top_k(ind_dataset, weight, k, tree=ind_tree)
+            assert candidate.indices.tolist() == reference.indices.tolist()
+            assert candidate.threshold == pytest.approx(reference.threshold)
+
+    def test_incremental_enumeration_is_fully_sorted(self, ind_dataset, ind_tree):
+        weight = _random_weight(4, np.random.default_rng(5))
+        produced = list(incremental_top(ind_dataset, weight, tree=ind_tree))
+        assert len(produced) == ind_dataset.n_options
+        scores = [score for score, _ in produced]
+        assert all(scores[i] >= scores[i + 1] - 1e-12 for i in range(len(scores) - 1))
+        reference = top_k(ind_dataset, weight, ind_dataset.n_options)
+        assert [index for _, index in produced] == reference.indices.tolist()
+
+    def test_tree_built_on_demand(self, ind_dataset):
+        weight = _random_weight(4, np.random.default_rng(9))
+        reference = top_k(ind_dataset, weight, 5)
+        candidate = branch_and_bound_top_k(ind_dataset, weight, 5)
+        assert candidate.indices.tolist() == reference.indices.tolist()
+
+    def test_prunes_nodes(self, ind_dataset, ind_tree):
+        weight = _random_weight(4, np.random.default_rng(13))
+        opened = node_access_count(ind_dataset, weight, 5, tree=ind_tree)
+        assert opened < ind_tree.node_count()
+
+    def test_rejects_negative_weights(self, ind_dataset):
+        with pytest.raises(InvalidParameterError):
+            branch_and_bound_top_k(ind_dataset, np.array([0.5, 0.5, 0.5, -0.5]), 3)
+
+    def test_rejects_foreign_tree(self, ind_dataset):
+        other_tree = RTree(np.random.default_rng(0).random((10, 4)))
+        with pytest.raises(InvalidParameterError):
+            branch_and_bound_top_k(ind_dataset, np.full(4, 0.25), 3, tree=other_tree)
+
+    def test_k_larger_than_dataset(self):
+        data = Dataset(np.random.default_rng(1).random((6, 3)))
+        result = branch_and_bound_top_k(data, np.array([0.4, 0.3, 0.3]), 50)
+        assert result.indices.shape[0] == 6
+
+
+class TestThresholdAlgorithm:
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_reference(self, ind_dataset, ind_lists, k):
+        rng = np.random.default_rng(100 + k)
+        for _ in range(5):
+            weight = _random_weight(4, rng)
+            reference = top_k(ind_dataset, weight, k)
+            candidate = threshold_algorithm(ind_dataset, weight, k, index=ind_lists)
+            assert candidate.indices.tolist() == reference.indices.tolist()
+            assert candidate.threshold == pytest.approx(reference.threshold)
+
+    def test_early_termination(self, ind_dataset, ind_lists):
+        stats = AccessStatistics()
+        weight = _random_weight(4, np.random.default_rng(3))
+        threshold_algorithm(ind_dataset, weight, 5, index=ind_lists, stats=stats)
+        assert stats.depth < ind_dataset.n_options
+        assert stats.random_accesses <= stats.sorted_accesses
+
+    def test_correlated_data_terminates_earlier_than_anticorrelated(self):
+        k = 10
+        weight = np.full(4, 0.25)
+        cor = generate_correlated(2_000, 4, rng=21)
+        anti = generate_anticorrelated(2_000, 4, rng=22)
+        cor_stats, anti_stats = AccessStatistics(), AccessStatistics()
+        threshold_algorithm(cor, weight, k, stats=cor_stats)
+        threshold_algorithm(anti, weight, k, stats=anti_stats)
+        assert cor_stats.depth <= anti_stats.depth
+
+    def test_invalid_parameters(self, ind_dataset):
+        with pytest.raises(InvalidParameterError):
+            threshold_algorithm(ind_dataset, np.full(3, 1 / 3), 5)
+        with pytest.raises(InvalidParameterError):
+            threshold_algorithm(ind_dataset, np.full(4, 0.25), 0)
+
+
+class TestNoRandomAccess:
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_reference(self, ind_dataset, ind_lists, k):
+        rng = np.random.default_rng(200 + k)
+        for _ in range(3):
+            weight = _random_weight(4, rng)
+            reference = top_k(ind_dataset, weight, k)
+            candidate = no_random_access_algorithm(ind_dataset, weight, k, index=ind_lists)
+            assert candidate.index_set == reference.index_set
+            assert candidate.threshold == pytest.approx(reference.threshold)
+
+    def test_no_random_accesses_counted(self, ind_dataset, ind_lists):
+        stats = AccessStatistics()
+        weight = _random_weight(4, np.random.default_rng(7))
+        no_random_access_algorithm(ind_dataset, weight, 5, index=ind_lists, stats=stats)
+        assert stats.random_accesses == 0
+        assert stats.sorted_accesses > 0
+
+    def test_small_dataset_exhaustive(self):
+        data = Dataset(np.array([[0.9, 0.1], [0.5, 0.5], [0.1, 0.9]]))
+        weight = np.array([0.6, 0.4])
+        reference = top_k(data, weight, 2)
+        candidate = no_random_access_algorithm(data, weight, 2)
+        assert candidate.index_set == reference.index_set
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=120),
+    d=st.integers(min_value=2, max_value=5),
+    k=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_all_engines_agree_property(n, d, k, seed):
+    """Property: every engine produces the reference top-k set and threshold."""
+    rng = np.random.default_rng(seed)
+    dataset = Dataset(rng.random((n, d)))
+    weight = _random_weight(d, rng)
+    k = min(k, n)
+    reference = top_k(dataset, weight, k)
+    bnb = branch_and_bound_top_k(dataset, weight, k)
+    ta = threshold_algorithm(dataset, weight, k)
+    nra = no_random_access_algorithm(dataset, weight, k)
+    assert bnb.indices.tolist() == reference.indices.tolist()
+    assert ta.index_set == reference.index_set
+    assert nra.index_set == reference.index_set
+    for engine_result in (bnb, ta, nra):
+        assert engine_result.threshold == pytest.approx(reference.threshold)
