@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core.kipr import WorkingSet, find_kipr_violation, region_profiles
+from repro.core.profiles import RegionProfiles
 from repro.core.splitting import split_region
 from repro.core.toprr import solve_toprr
 from repro.data.generators import generate_independent
@@ -42,6 +43,20 @@ def test_bench_kipr_test(benchmark, instance):
     def run():
         profiles = region_profiles(working, region)
         return find_kipr_violation(profiles)
+
+    benchmark(run)
+
+
+def test_bench_kipr_test_vectorized(benchmark, instance):
+    """The array-backed kernel on the same instance as the per-vertex bench above."""
+    dataset, k, region = instance
+    filtered = dataset.subset(r_skyband(dataset, k, region))
+    working = WorkingSet.from_dataset(filtered, k)
+    vertices = region.vertices
+
+    def run():
+        profiles = RegionProfiles.compute(working, vertices)
+        return profiles.kipr_violation()
 
     benchmark(run)
 

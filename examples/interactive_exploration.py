@@ -25,7 +25,7 @@ import time
 
 import numpy as np
 
-from repro import Dataset, PreferenceRegion, solve_toprr
+from repro import Dataset, PreferenceRegion, TopRREngine, solve_toprr
 from repro.core.parallel import solve_toprr_parallel
 from repro.core.placement import cheapest_new_option
 from repro.core.precompute import PrecomputedTopRR
@@ -71,6 +71,19 @@ def main() -> None:
     index.solve(k, PreferenceRegion.hyperrectangle(segments["balanced buyers"]))
     print(f"\nrevisiting 'balanced buyers': {time.perf_counter() - start:.4f}s "
           f"(cache {index.cache_info()})")
+
+    # --- the same session through the TopRREngine --------------------------------
+    # TopRREngine generalises the memo above: bounded LRU caches, batch
+    # execution, and cache warming.  query_batch answers the whole segment
+    # mix in one call.
+    engine = TopRREngine(catalogue)
+    engine.warm([k], [PreferenceRegion.hyperrectangle(b) for b in segments.values()])
+    start = time.perf_counter()
+    batch = engine.query_batch(
+        [(k, PreferenceRegion.hyperrectangle(b)) for b in segments.values()] * 2
+    )
+    print(f"\nengine batch: {len(batch)} queries in {time.perf_counter() - start:.2f}s, "
+          f"caches {engine.cache_info()}")
 
     # --- a large segment, solved in parallel -------------------------------------
     wide = PreferenceRegion.hyperrectangle([(0.2, 0.5), (0.2, 0.5)])

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Dataset, PreferenceRegion, solve_toprr
+from repro import Dataset, PreferenceRegion, TopRREngine, solve_toprr
 from repro.core.placement import cheapest_new_option
 from repro.core.verify import verify_result_by_sampling
 
@@ -56,6 +56,16 @@ def main() -> None:
     # 6. Independent sanity check by sampling.
     report = verify_result_by_sampling(result, rng=0)
     print("  sampling verification passed:", report.passed)
+
+    # 7. Serving many queries?  Bind the market once in a TopRREngine: the
+    #    scoring form is computed once and repeated (k, clientele) queries
+    #    are answered from a bounded cross-query cache.
+    engine = TopRREngine(market)
+    for k in (5, 10, 10, 5):  # a session revisiting its settings
+        engine.query(k, clientele)
+    info = engine.cache_info()
+    print(f"  engine session: {info['n_queries']} queries, "
+          f"{info['results']['hits']} served from cache")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,9 @@ Tang, Mouratidis, Yiu and Chen.  It provides:
   TAS* with consistent-top pruning (Lemma 5), optimized region testing
   (Lemma 7) and k-switch splitting hyperplane selection,
 * cost-optimal option creation / enhancement on top of the TopRR output,
+* a session-scoped query engine (:class:`repro.engine.TopRREngine`) that
+  binds a dataset once and serves repeated / batched queries with
+  cross-query caching,
 * an experiment harness regenerating every figure and table of the paper's
   evaluation section.
 
@@ -46,6 +49,7 @@ from repro.core.composite import constrain_result, solve_toprr_union
 from repro.core.parallel import solve_toprr_parallel
 from repro.core.precompute import PrecomputedTopRR
 from repro.core.sampled import sampled_toprr
+from repro.engine import TopRREngine
 from repro.topk.query import top_k, top_k_score
 from repro.version import __version__
 
@@ -65,6 +69,7 @@ __all__ = [
     "constrain_result",
     "solve_toprr_parallel",
     "PrecomputedTopRR",
+    "TopRREngine",
     "sampled_toprr",
     "top_k",
     "top_k_score",

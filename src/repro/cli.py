@@ -13,17 +13,24 @@ Run one experiment (Figure 9a at smoke scale) and print its table::
 Solve a single TopRR instance on synthetic data::
 
     toprr solve --n 5000 --d 4 --k 10 --sigma 0.05 --method "tas*"
+
+Serve a batch of queries against one dataset through the caching engine::
+
+    toprr batch --n 5000 --d 4 --queries 50 --distinct 10
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.core.placement import cheapest_new_option
 from repro.core.toprr import solve_toprr
 from repro.data.generators import generate_synthetic
+from repro.engine import TopRREngine
+from repro.exceptions import InvalidParameterError
 from repro.experiments.ablations import ABLATIONS, run_ablation
 from repro.experiments.config import Scale
 from repro.experiments.figures import EXPERIMENTS, run_experiment
@@ -58,6 +65,25 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--distribution", default="IND", help="IND | COR | ANTI")
     solve.add_argument("--method", default="tas*", help="tas* | tas | pac")
     solve.add_argument("--seed", type=int, default=7, help="random seed")
+
+    batch = sub.add_parser(
+        "batch",
+        help="serve a batch of TopRR queries on one synthetic dataset via the caching engine",
+    )
+    batch.add_argument("--n", type=int, default=5_000, help="number of options")
+    batch.add_argument("--d", type=int, default=4, help="number of attributes")
+    batch.add_argument("--k", type=int, default=10, help="largest rank requirement k")
+    batch.add_argument("--sigma", type=float, default=0.05, help="preference-region side length")
+    batch.add_argument("--distribution", default="IND", help="IND | COR | ANTI")
+    batch.add_argument("--method", default="tas*", help="tas* | tas | pac")
+    batch.add_argument("--queries", type=int, default=50, help="total queries in the session")
+    batch.add_argument(
+        "--distinct", type=int, default=10, help="distinct (k, region) pairs in the mix"
+    )
+    batch.add_argument(
+        "--executor", default="serial", help="serial | thread | process (default: serial)"
+    )
+    batch.add_argument("--seed", type=int, default=7, help="random seed")
 
     return parser
 
@@ -99,6 +125,42 @@ def _command_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_batch(args: argparse.Namespace) -> int:
+    if args.queries <= 0:
+        print("error: --queries must be positive", file=sys.stderr)
+        return 2
+    dataset = generate_synthetic(args.distribution, args.n, args.d, rng=args.seed)
+    distinct = max(1, min(args.distinct, args.queries))
+    pairs = [
+        (
+            1 + (args.seed + i) % max(args.k, 1),
+            random_hypercube_region(args.d, args.sigma, rng=args.seed + 1 + i),
+        )
+        for i in range(distinct)
+    ]
+    queries = [pairs[i % distinct] for i in range(args.queries)]
+
+    engine = TopRREngine(dataset, method=args.method, rng=args.seed)
+    start = time.perf_counter()
+    try:
+        results = engine.query_batch(queries, executor=args.executor)
+    except InvalidParameterError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    seconds = time.perf_counter() - start
+
+    rows = [results[i].summary() for i in range(distinct)]
+    print(format_table(rows, title=f"engine batch ({args.queries} queries, {distinct} distinct)"))
+    info = engine.cache_info()
+    print(
+        f"\n{len(results)} queries in {seconds:.2f}s "
+        f"({len(results) / max(seconds, 1e-9):.1f} queries/s, executor={args.executor})"
+    )
+    print(f"result cache: {info['results']}")
+    print(f"r-skyband cache: {info['skyband']}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (returns a process exit code)."""
     parser = _build_parser()
@@ -109,6 +171,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run(args)
     if args.command == "solve":
         return _command_solve(args)
+    if args.command == "batch":
+        return _command_batch(args)
     parser.print_help()
     return 1
 

@@ -3,6 +3,8 @@
 * :mod:`repro.core.impact` — impact halfspaces and the ``oR`` polytope.
 * :mod:`repro.core.kipr` — vertex score profiles, kIPR testing (Lemma 3),
   consistent top-λ detection (Lemma 5), optimized testing (Lemma 7).
+* :mod:`repro.core.profiles` — the array-backed :class:`RegionProfiles`
+  kernel computing all vertex profiles of a region in one batched operation.
 * :mod:`repro.core.splitting` — splitting-hyperplane selection (random and
   k-switch, Definition 4) and the split operation.
 * :mod:`repro.core.tas` — the Test-and-Split algorithm (Algorithm 1).

@@ -12,7 +12,10 @@ implements the loop with three switches:
   (Section 5.3).
 
 The recursion is implemented with an explicit stack so that deep partitions
-do not hit Python's recursion limit.
+do not hit Python's recursion limit.  Region testing runs on the vectorized
+:class:`~repro.core.profiles.RegionProfiles` kernel: one batched score
+matrix and top-k ordering per popped region instead of a Python loop over
+its vertices.
 """
 
 from __future__ import annotations
@@ -21,13 +24,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.kipr import (
-    WorkingSet,
-    consistent_top_lambda,
-    find_kipr_violation,
-    passes_lemma7,
-    region_profiles,
-)
+from repro.core.kipr import WorkingSet
+from repro.core.profiles import RegionProfiles
 from repro.core.splitting import split_region
 from repro.core.stats import SolverStats
 from repro.data.dataset import Dataset
@@ -88,12 +86,15 @@ class BaseTestAndSplit:
         k: int,
         region: PreferenceRegion,
         stats: Optional[SolverStats] = None,
+        working: Optional[WorkingSet] = None,
     ) -> np.ndarray:
         """Partition ``region`` and return ``V_all`` (reduced vertex coordinates).
 
         ``filtered`` must already be the r-skyband (or any superset of the
         options that can appear in a top-k result inside ``region``); the
-        front end in :mod:`repro.core.toprr` takes care of that.
+        front end in :mod:`repro.core.toprr` takes care of that.  ``working``
+        optionally supplies a prebuilt root working set (the query engine
+        passes one sliced from the dataset's cached affine score form).
         """
         if k <= 0:
             raise InvalidParameterError(f"k must be positive, got {k}")
@@ -102,11 +103,13 @@ class BaseTestAndSplit:
                 "preference region and dataset disagree on the number of attributes"
             )
         stats = stats if stats is not None else SolverStats()
-        root_working = WorkingSet.from_dataset(filtered, k)
+        root_working = working if working is not None else WorkingSet.from_dataset(filtered, k)
         stats.k_effective = root_working.k
+        stats.n_after_lemma5 = root_working.n_active
 
         accepted_vertex_sets: List[np.ndarray] = []
         stack: List[Tuple[PreferenceRegion, WorkingSet]] = [(region, root_working)]
+        first_region = True
 
         while stack:
             if stats.n_regions_tested >= self.max_regions:
@@ -115,6 +118,8 @@ class BaseTestAndSplit:
                     "the instance is likely degenerate"
                 )
             current, working = stack.pop()
+            at_root = first_region
+            first_region = False
             stats.n_regions_tested += 1
 
             try:
@@ -124,23 +129,29 @@ class BaseTestAndSplit:
             if vertices.shape[0] == 0:
                 continue
 
-            profiles = region_profiles(working, current)
+            profiles = RegionProfiles.compute(working, vertices)
 
             if self.use_lemma5:
-                lam, phi = consistent_top_lambda(profiles, working.k)
+                lam, phi = profiles.consistent_top_lambda(working.k)
                 if lam > 0 and working.n_active - lam >= 1:
                     working = working.without_options(phi, working.k - lam)
                     stats.n_lemma5_reductions += 1
                     stats.k_effective = min(stats.k_effective, working.k)
-                    profiles = region_profiles(working, current)
+                    if at_root:
+                        # Pruning at the root region — the "after initial
+                        # Lemma 5" count Figure 12 reports.  Deeper firings
+                        # are subtree-local (sibling regions keep the
+                        # removed options) and must not overwrite it.
+                        stats.n_after_lemma5 = working.n_active
+                    profiles = RegionProfiles.compute(working, vertices)
 
-            violation = find_kipr_violation(profiles)
+            violation = profiles.kipr_violation()
             if violation is None:
                 stats.n_kipr_regions += 1
                 accepted_vertex_sets.append(vertices)
                 continue
 
-            if self.use_lemma7 and passes_lemma7(profiles, working.k):
+            if self.use_lemma7 and profiles.passes_lemma7(working.k):
                 stats.n_lemma7_regions += 1
                 accepted_vertex_sets.append(vertices)
                 continue

@@ -12,21 +12,36 @@ defining vertices, which Lemma 1 makes sufficient):
   vertices share the same top-λ set?  Those λ options can be removed and
   ``k`` reduced accordingly for the whole sub-tree.
 
-All three are computed from :class:`VertexProfile` objects — the ordered
-top-k list of each vertex over the currently active options.
+All three are computed from the ordered top-k list of each vertex over the
+currently active options.  Two representations exist:
+
+* :class:`VertexProfile` — the legacy per-vertex object (tuple + frozensets),
+  still used by single-vertex callers and kept as the reference
+  implementation for the parity tests;
+* :class:`repro.core.profiles.RegionProfiles` — the array-backed kernel the
+  solvers use, computing all vertices of a region in one matrix operation.
+
+The module-level test functions (:func:`find_kipr_violation`,
+:func:`passes_lemma7`, :func:`consistent_top_lambda`) accept either
+representation and dispatch to the vectorized path when given a
+:class:`~repro.core.profiles.RegionProfiles`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.profiles import RegionProfiles, affine_scores
 from repro.data.dataset import Dataset
 from repro.exceptions import InvalidParameterError
 from repro.preference.region import PreferenceRegion
 from repro.preference.space import PreferenceSpace
+
+#: Either profile representation accepted by the module-level tests.
+ProfilesLike = Union[RegionProfiles, Sequence["VertexProfile"]]
 
 
 class WorkingSet:
@@ -42,7 +57,7 @@ class WorkingSet:
     :meth:`without_options`.
     """
 
-    __slots__ = ("coefficients", "constants", "active", "k")
+    __slots__ = ("coefficients", "constants", "active", "k", "_active_form")
 
     def __init__(
         self,
@@ -55,6 +70,7 @@ class WorkingSet:
         self.constants = constants
         self.active = np.asarray(active, dtype=int)
         self.k = int(k)
+        self._active_form: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @classmethod
     def from_dataset(cls, dataset: Dataset, k: int) -> "WorkingSet":
@@ -66,15 +82,45 @@ class WorkingSet:
         active = np.arange(dataset.n_options)
         return cls(coefficients, constants, active, min(k, dataset.n_options))
 
+    @classmethod
+    def from_affine_form(
+        cls, coefficients: np.ndarray, constants: np.ndarray, k: int
+    ) -> "WorkingSet":
+        """Root working set from an already computed affine score form.
+
+        Used by the query engine, which binds the dataset's affine form once
+        and slices it per query instead of recomputing it from the values.
+        """
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        n_options = coefficients.shape[0]
+        active = np.arange(n_options)
+        return cls(coefficients, constants, active, min(k, n_options))
+
     @property
     def n_active(self) -> int:
         """Number of active options."""
         return self.active.shape[0]
 
+    def active_form(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(coefficients, constants)`` restricted to the active options (cached).
+
+        Working sets are immutable, so the sliced affine form is computed at
+        most once and reused by every region test on this working set.
+        """
+        if self._active_form is None:
+            self._active_form = (self.coefficients[self.active], self.constants[self.active])
+        return self._active_form
+
     def scores_at(self, reduced_vertex: np.ndarray) -> np.ndarray:
-        """Scores of the active options at one reduced weight vector."""
-        idx = self.active
-        return self.constants[idx] + self.coefficients[idx] @ reduced_vertex
+        """Scores of the active options at one reduced weight vector.
+
+        Routed through the kernel's shape-independent score accumulation so
+        that per-vertex results are bit-identical to rows of the batched
+        :class:`~repro.core.profiles.RegionProfiles` score matrix.
+        """
+        coefficients, constants = self.active_form()
+        return affine_scores(reduced_vertex, coefficients, constants)[0]
 
     def score_of(self, option_index: int, reduced_vertex: np.ndarray) -> float:
         """Score of a single option (positional index into ``D'``) at a reduced vertex."""
@@ -82,8 +128,8 @@ class WorkingSet:
 
     def without_options(self, option_indices: Sequence[int], new_k: int) -> "WorkingSet":
         """New working set with ``option_indices`` removed and ``k`` replaced."""
-        drop = set(int(i) for i in option_indices)
-        remaining = np.array([i for i in self.active if i not in drop], dtype=int)
+        drop = np.fromiter((int(i) for i in option_indices), dtype=int)
+        remaining = self.active[~np.isin(self.active, drop)]
         return WorkingSet(self.coefficients, self.constants, remaining, new_k)
 
 
@@ -129,11 +175,15 @@ def vertex_profile(working: WorkingSet, reduced_vertex: np.ndarray) -> VertexPro
 
 
 def region_profiles(working: WorkingSet, region: PreferenceRegion) -> List[VertexProfile]:
-    """Vertex profiles for every defining vertex of ``region``."""
+    """Per-vertex :class:`VertexProfile` list for every defining vertex of ``region``.
+
+    This is the legacy (reference) representation; the solvers use the
+    array-backed :meth:`repro.core.profiles.RegionProfiles.of_region` instead.
+    """
     return [vertex_profile(working, v) for v in region.vertices]
 
 
-def find_kipr_violation(profiles: Sequence[VertexProfile]) -> Optional[Tuple[int, int, str]]:
+def find_kipr_violation(profiles: ProfilesLike) -> Optional[Tuple[int, int, str]]:
     """First pair of vertices violating the kIPR conditions.
 
     Returns ``None`` when the region is a kIPR, otherwise a tuple
@@ -141,6 +191,8 @@ def find_kipr_violation(profiles: Sequence[VertexProfile]) -> Optional[Tuple[int
     sets — Case 1 of Section 4.2.1) or ``"kth"`` (same set, different k-th
     option — Case 2).
     """
+    if isinstance(profiles, RegionProfiles):
+        return profiles.kipr_violation()
     if not profiles:
         return None
     reference = profiles[0]
@@ -155,16 +207,18 @@ def find_kipr_violation(profiles: Sequence[VertexProfile]) -> Optional[Tuple[int
     return None
 
 
-def is_kipr(profiles: Sequence[VertexProfile]) -> bool:
+def is_kipr(profiles: ProfilesLike) -> bool:
     """Lemma 3 test: same top-k set and same k-th option at every vertex."""
     return find_kipr_violation(profiles) is None
 
 
-def passes_lemma7(profiles: Sequence[VertexProfile], k: int) -> bool:
+def passes_lemma7(profiles: ProfilesLike, k: int) -> bool:
     """Lemma 7 test: every vertex yields the same top-(k-1) set.
 
     For ``k == 1`` the condition is vacuously true (Lemma 6 applies directly).
     """
+    if isinstance(profiles, RegionProfiles):
+        return profiles.passes_lemma7(k)
     if k <= 1:
         return True
     if not profiles:
@@ -175,11 +229,13 @@ def passes_lemma7(profiles: Sequence[VertexProfile], k: int) -> bool:
     return all(profile.prefix_set(k - 1) == reference for profile in profiles[1:])
 
 
-def consistent_top_lambda(profiles: Sequence[VertexProfile], k: int) -> Tuple[int, frozenset]:
+def consistent_top_lambda(profiles: ProfilesLike, k: int) -> Tuple[int, frozenset]:
     """Largest λ < k such that all vertices share the same top-λ set (Lemma 5).
 
     Returns ``(0, frozenset())`` when no such λ exists.
     """
+    if isinstance(profiles, RegionProfiles):
+        return profiles.consistent_top_lambda(k)
     if k <= 1 or not profiles:
         return 0, frozenset()
     max_lambda = min(k - 1, len(profiles[0].ordered))

@@ -49,10 +49,13 @@ class PACSolver:
         k: int,
         region: PreferenceRegion,
         stats: Optional[SolverStats] = None,
+        working=None,
     ) -> np.ndarray:
         """Run UTK on ``region`` and return the union of the cells' vertices (``V_all``)."""
         stats = stats if stats is not None else SolverStats()
-        cells = self._partitioner.partition(filtered, k, region, stats=stats)
+        # PAC performs no Lemma 5 pruning: the candidate set is unchanged.
+        stats.n_after_lemma5 = filtered.n_options
+        cells = self._partitioner.partition(filtered, k, region, stats=stats, working=working)
         vertex_sets = []
         for cell in cells:
             try:

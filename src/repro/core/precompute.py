@@ -26,22 +26,14 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-import numpy as np
-
 from repro.core.toprr import SolverLike, TopRRResult, solve_toprr
 from repro.data.dataset import Dataset
+from repro.engine.fingerprint import region_fingerprint  # noqa: F401  (canonical home)
 from repro.exceptions import InvalidParameterError
 from repro.preference.region import PreferenceRegion
 from repro.topk.skyband import k_skyband
 from repro.utils.timer import Timer
 from repro.utils.tolerance import DEFAULT_TOL, Tolerance
-
-
-def region_fingerprint(region: PreferenceRegion, decimals: int = 10) -> Tuple:
-    """A hashable fingerprint of a preference region (rounded sorted vertices)."""
-    vertices = np.round(np.asarray(region.vertices, dtype=float), decimals)
-    order = np.lexsort(vertices.T[::-1]) if vertices.size else np.arange(0)
-    return tuple(map(tuple, vertices[order]))
 
 
 class PrecomputedTopRR:

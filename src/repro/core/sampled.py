@@ -25,9 +25,12 @@ guarantee, while the exact methods get it at comparable cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import TopRREngine
 
 from repro.core.impact import build_impact_region
 from repro.core.stats import SolverStats
@@ -51,6 +54,7 @@ def sampled_toprr(
     prefilter: bool = True,
     rng: RngLike = 0,
     tol: Tolerance = DEFAULT_TOL,
+    engine: Optional["TopRREngine"] = None,
 ) -> TopRRResult:
     """Inexact TopRR answer from ``n_samples`` weight vectors sampled inside ``wR``.
 
@@ -68,6 +72,11 @@ def sampled_toprr(
         Apply the r-skyband pre-filter, as the exact methods do.
     rng:
         Seed or generator for the sampling.
+    engine:
+        Optional :class:`repro.engine.TopRREngine` bound to ``dataset``; when
+        given, the r-skyband pre-filter is served from (and feeds) the
+        engine's cross-query cache, so baseline comparisons against engine
+        sessions do not re-filter.
 
     Returns
     -------
@@ -82,13 +91,24 @@ def sampled_toprr(
         raise InvalidParameterError(f"n_samples must be positive, got {n_samples}")
     if region.n_attributes != dataset.n_attributes:
         raise InvalidParameterError("region and dataset disagree on the number of attributes")
+    use_engine_prefilter = prefilter and engine is not None and engine.prefilter
+    if use_engine_prefilter:
+        if engine.dataset is not dataset:
+            raise InvalidParameterError("engine is bound to a different dataset")
+        if engine.tol != tol:
+            raise InvalidParameterError(
+                "engine was built with a different tolerance bundle; its cached r-skyband "
+                "results would not match this call's tol"
+            )
 
     rng = ensure_rng(rng)
     stats = SolverStats()
     stats.n_input_options = dataset.n_options
 
     timer = Timer().start()
-    if prefilter:
+    if use_engine_prefilter:
+        filtered, _working, _cache_hit = engine.prefiltered(k, region)
+    elif prefilter:
         kept = r_skyband(dataset, k, region, tol=tol)
         filtered = dataset.subset(kept, name=f"{dataset.name}[r-skyband]")
     else:

@@ -25,11 +25,12 @@ as a last resort, the region is bisected along its widest axis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.kipr import VertexProfile, WorkingSet, find_kipr_violation
+from repro.core.kipr import ProfilesLike, VertexProfile, WorkingSet, find_kipr_violation
+from repro.core.profiles import RegionProfiles, affine_scores
 from repro.geometry.hyperplane import Hyperplane
 from repro.preference.region import PreferenceRegion
 from repro.utils.rng import ensure_rng
@@ -144,9 +145,23 @@ def select_splitting_pair(
     return SplitDecision(option_a=option_a, option_b=option_b, hyperplane=hyperplane, case=case)
 
 
+def _profile_vertices(profiles: ProfilesLike) -> np.ndarray:
+    """``(m, d-1)`` vertex matrix of either profile representation."""
+    if isinstance(profiles, RegionProfiles):
+        return profiles.vertices
+    return np.array([profile.vertex for profile in profiles], dtype=float)
+
+
+def _candidate_pool(profiles: ProfilesLike) -> List[int]:
+    """Sorted union of the vertices' top-k sets."""
+    if isinstance(profiles, RegionProfiles):
+        return [int(i) for i in profiles.candidate_pool()]
+    return sorted(set().union(*(profile.top_set for profile in profiles)))
+
+
 def _has_strict_swap(
     working: WorkingSet,
-    profiles: Sequence[VertexProfile],
+    profiles: ProfilesLike,
     option_a: int,
     option_b: int,
     tol: Tolerance,
@@ -161,22 +176,13 @@ def _has_strict_swap(
     """
     diff_coeff = working.coefficients[option_a] - working.coefficients[option_b]
     diff_const = working.constants[option_a] - working.constants[option_b]
-    saw_positive = False
-    saw_negative = False
-    for profile in profiles:
-        value = float(diff_coeff @ profile.vertex + diff_const)
-        if value > tol.score:
-            saw_positive = True
-        elif value < -tol.score:
-            saw_negative = True
-        if saw_positive and saw_negative:
-            return True
-    return False
+    values = _profile_vertices(profiles) @ diff_coeff + diff_const
+    return bool(np.any(values > tol.score) and np.any(values < -tol.score))
 
 
 def find_swap_candidates(
     working: WorkingSet,
-    profiles: Sequence[VertexProfile],
+    profiles: ProfilesLike,
     tol: Tolerance,
     max_candidates: int = 256,
 ) -> List[SplitDecision]:
@@ -189,28 +195,54 @@ def find_swap_candidates(
     at the vertex where the swap is maximal).  If this list is empty, every
     witnessed violation is a boundary tie and the region's interior is
     rank-invariant, so the caller may accept the region without splitting.
+
+    All pairwise score differences at all vertices are screened in one
+    broadcast; candidates are emitted in pool order (ascending ``(a, b)``),
+    matching the legacy pairwise scan.
     """
-    pool = sorted(set().union(*(p.top_set for p in profiles)))
+    pool = _candidate_pool(profiles)
+    n_pool = len(pool)
+    if n_pool < 2:
+        return []
+    pool_arr = np.asarray(pool, dtype=int)
+    vertices = _profile_vertices(profiles)
+    scores = affine_scores(vertices, working.coefficients[pool_arr], working.constants[pool_arr])
+    # Screen: beats[i, j] ~ pool[i] strictly outscores pool[j] at some
+    # vertex.  Differences of separately rounded scores can disagree with
+    # the exact difference form ``(c_a - c_b) . v + (k_a - k_b)`` by a few
+    # ulps of the score magnitude, so the screen subtracts a slack well
+    # above that rounding error (scaled to the actual scores, in case the
+    # data is not unit-normalized), and every surviving pair is confirmed
+    # with the exact form below.  An over-permissive screen only costs extra
+    # exact confirms; it never drops a pair the legacy scan would accept.
+    # One (n_pool, n_pool) buffer per vertex keeps the broadcast memory at
+    # P^2 rather than m * P^2.
+    slack = 1e-12 * (1.0 + float(np.abs(scores).max()))
+    beats = np.zeros((n_pool, n_pool), dtype=bool)
+    for row in scores:
+        np.logical_or(beats, row[:, None] - row[None, :] > tol.score - slack, out=beats)
+    swap = np.triu(beats & beats.T, k=1)
     decisions: List[SplitDecision] = []
-    for i, option_a in enumerate(pool):
-        for option_b in pool[i + 1 :]:
-            if _has_strict_swap(working, profiles, option_a, option_b, tol):
-                decisions.append(
-                    SplitDecision(
-                        option_a=option_a,
-                        option_b=option_b,
-                        hyperplane=_scoring_hyperplane(working, option_a, option_b),
-                        case="swap",
-                    )
-                )
-                if len(decisions) >= max_candidates:
-                    return decisions
+    for i, j in np.argwhere(swap):
+        option_a, option_b = int(pool_arr[i]), int(pool_arr[j])
+        if not _has_strict_swap(working, profiles, option_a, option_b, tol):
+            continue
+        decisions.append(
+            SplitDecision(
+                option_a=option_a,
+                option_b=option_b,
+                hyperplane=_scoring_hyperplane(working, option_a, option_b),
+                case="swap",
+            )
+        )
+        if len(decisions) >= max_candidates:
+            break
     return decisions
 
 
 def region_is_rank_invariant(
     working: WorkingSet,
-    profiles: Sequence[VertexProfile],
+    profiles: ProfilesLike,
     tol: Tolerance = DEFAULT_TOL,
 ) -> bool:
     """True if the score order of all relevant options is constant inside the region.
@@ -230,7 +262,7 @@ def region_is_rank_invariant(
 def split_region(
     region: PreferenceRegion,
     working: WorkingSet,
-    profiles: Sequence[VertexProfile],
+    profiles: ProfilesLike,
     violation: Tuple[int, int, str],
     strategy: str = "k-switch",
     rng: Optional[np.random.Generator] = None,

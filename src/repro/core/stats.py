@@ -24,7 +24,8 @@ class SolverStats:
         Options in ``D'`` after the r-skyband pre-filter.
     n_after_lemma5:
         Options still under consideration after the initial consistent
-        top-λ pruning (TAS* only; equals ``n_filtered_options`` otherwise).
+        top-λ pruning — recorded by the solver when Lemma 5 first fires
+        (equals ``n_filtered_options`` for solvers without Lemma 5).
     k_effective:
         The value of ``k`` after the initial Lemma 5 reduction.
     n_regions_tested:

@@ -3,7 +3,9 @@
 TAS recursively tests whether a preference region is a kIPR (Lemma 3) and,
 if not, splits it by the hyperplane of a randomly chosen violating option
 pair.  No further optimization is applied; the optimized variant lives in
-:mod:`repro.core.tas_star`.
+:mod:`repro.core.tas_star`.  Both run on the vectorized
+:class:`~repro.core.profiles.RegionProfiles` kernel via
+:class:`~repro.core.base_solver.BaseTestAndSplit`.
 """
 
 from __future__ import annotations

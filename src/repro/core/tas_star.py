@@ -12,7 +12,9 @@ individually in Section 6.5:
   are split so that an entire maximal kIPR tends to be peeled off at once.
 
 Each optimization can be switched off independently, which is exactly what
-the ablation experiments of Figures 12-14 do.
+the ablation experiments of Figures 12-14 do.  All region tests run on the
+vectorized :class:`~repro.core.profiles.RegionProfiles` kernel inherited
+from :class:`~repro.core.base_solver.BaseTestAndSplit`.
 """
 
 from __future__ import annotations

@@ -21,7 +21,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.impact import build_impact_region, is_top_ranking
+from repro.core.impact import is_top_ranking
 from repro.core.pac import PACSolver
 from repro.core.stats import SolverStats
 from repro.core.tas import TASSolver
@@ -30,9 +30,7 @@ from repro.data.dataset import Dataset
 from repro.exceptions import InvalidParameterError
 from repro.geometry.polytope import ConvexPolytope
 from repro.preference.region import PreferenceRegion
-from repro.pruning.rskyband import r_skyband
 from repro.utils.rng import RngLike
-from repro.utils.timer import Timer
 from repro.utils.tolerance import DEFAULT_TOL, Tolerance
 
 #: Method labels accepted by :func:`solve_toprr`.
@@ -210,53 +208,25 @@ def solve_toprr(
     Returns
     -------
     :class:`TopRRResult`
+
+    Notes
+    -----
+    Since the introduction of :class:`repro.engine.TopRREngine` this function
+    is a convenience wrapper around a one-shot engine with caching disabled;
+    sessions that issue several queries against the same dataset should hold
+    an engine instead (bind once, query many).
     """
-    if k <= 0:
-        raise InvalidParameterError(f"k must be positive, got {k}")
-    if k > dataset.n_options:
-        raise InvalidParameterError(
-            f"k={k} exceeds the dataset size {dataset.n_options}; every placement would qualify"
-        )
-    if region.n_attributes != dataset.n_attributes:
-        raise InvalidParameterError(
-            f"region is defined for {region.n_attributes}-attribute options but the dataset "
-            f"has {dataset.n_attributes} attributes"
-        )
+    from repro.engine.engine import TopRREngine  # local import: engine builds on this module
 
-    solver = make_solver(method, rng=rng, tol=tol)
-    stats = SolverStats()
-    stats.n_input_options = dataset.n_options
-
-    timer = Timer().start()
-    if prefilter:
-        kept = r_skyband(dataset, k, region, tol=tol)
-        filtered = dataset.subset(kept, name=f"{dataset.name}[r-skyband]")
-    else:
-        filtered = dataset
-    stats.n_filtered_options = filtered.n_options
-
-    vall = solver.partition(filtered, k, region, stats=stats)
-    polytope, full_weights, thresholds = build_impact_region(
-        filtered,
-        vall,
-        k,
+    engine = TopRREngine(
+        dataset,
+        method=method,
+        prefilter=prefilter,
         clip_to_unit_box=clip_to_unit_box,
-        bounds=option_bounds,
+        option_bounds=option_bounds,
+        rng=rng,
         tol=tol,
+        skyband_cache_size=0,
+        result_cache_size=0,
     )
-    stats.seconds = timer.stop()
-    stats.n_after_lemma5 = stats.n_after_lemma5 or filtered.n_options
-
-    return TopRRResult(
-        dataset=dataset,
-        filtered=filtered,
-        k=k,
-        region=region,
-        vertices_reduced=vall,
-        full_weights=full_weights,
-        thresholds=thresholds,
-        polytope=polytope,
-        stats=stats,
-        method=getattr(solver, "name", str(method)),
-        tol=tol,
-    )
+    return engine.query(k, region)

@@ -29,13 +29,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.kipr import (
-    VertexProfile,
-    WorkingSet,
-    find_kipr_violation,
-    region_profiles,
-    vertex_profile,
-)
+from repro.core.kipr import WorkingSet, vertex_profile
+from repro.core.profiles import RegionProfiles
 from repro.core.splitting import split_region
 from repro.core.stats import SolverStats
 from repro.data.dataset import Dataset
@@ -84,27 +79,33 @@ class UTKPartitioner:
     def _anchor_hyperplane(
         self,
         working: WorkingSet,
-        profiles: List[VertexProfile],
+        profiles: RegionProfiles,
     ) -> Optional[Hyperplane]:
         """Splitting hyperplane between the anchor and an order-changing option.
 
         The anchor is the k-th option at the first vertex.  Among the options
         appearing in any vertex's top-k set, the first whose score order
         against the anchor differs between two vertices provides the
-        splitting hyperplane (its sign change guarantees a proper cut).
+        splitting hyperplane (its sign change guarantees a proper cut).  All
+        candidate scores at all vertices come from one matrix product against
+        the profiles' vertex matrix.
         """
-        anchor = profiles[0].kth
-        candidates = sorted(set().union(*(p.top_set for p in profiles)) - {anchor})
-        vertices = [p.vertex for p in profiles]
-        anchor_scores = np.array([working.score_of(anchor, v) for v in vertices])
-        for candidate in candidates:
-            candidate_scores = np.array([working.score_of(candidate, v) for v in vertices])
-            diff = anchor_scores - candidate_scores
-            if np.any(diff > self.tol.score) and np.any(diff < -self.tol.score):
-                coeff = working.coefficients[anchor] - working.coefficients[candidate]
-                const = working.constants[anchor] - working.constants[candidate]
-                return Hyperplane(coeff, -const)
-        return None
+        anchor = int(profiles.kth[0])
+        pool = profiles.candidate_pool()
+        candidates = pool[pool != anchor]
+        if candidates.size == 0:
+            return None
+        scores = profiles.pool_scores(candidates)
+        anchor_scores = profiles.pool_scores(np.array([anchor]))[:, 0]
+        diff = anchor_scores[:, None] - scores
+        changing = np.any(diff > self.tol.score, axis=0) & np.any(diff < -self.tol.score, axis=0)
+        hits = np.flatnonzero(changing)
+        if hits.size == 0:
+            return None
+        candidate = int(candidates[hits[0]])
+        coeff = working.coefficients[anchor] - working.coefficients[candidate]
+        const = working.constants[anchor] - working.constants[candidate]
+        return Hyperplane(coeff, -const)
 
     @staticmethod
     def _annotate(working: WorkingSet, region: PreferenceRegion) -> UTKCell:
@@ -125,12 +126,17 @@ class UTKPartitioner:
         k: int,
         region: PreferenceRegion,
         stats: Optional[SolverStats] = None,
+        working: Optional[WorkingSet] = None,
     ) -> List[UTKCell]:
-        """Partition ``region`` into kIPR cells, each annotated with its top-k set."""
+        """Partition ``region`` into kIPR cells, each annotated with its top-k set.
+
+        ``working`` optionally supplies a prebuilt root working set (sliced
+        from a cached affine score form by the query engine).
+        """
         if k <= 0:
             raise InvalidParameterError(f"k must be positive, got {k}")
         stats = stats if stats is not None else SolverStats()
-        working = WorkingSet.from_dataset(filtered, k)
+        working = working if working is not None else WorkingSet.from_dataset(filtered, k)
         stats.k_effective = working.k
 
         cells: List[UTKCell] = []
@@ -150,8 +156,8 @@ class UTKPartitioner:
             if vertices.shape[0] == 0:
                 continue
 
-            profiles = region_profiles(working, current)
-            violation = find_kipr_violation(profiles)
+            profiles = RegionProfiles.compute(working, vertices)
+            violation = profiles.kipr_violation()
             if violation is None:
                 stats.n_kipr_regions += 1
                 cells.append(self._annotate(working, current))

@@ -66,6 +66,7 @@ class Dataset:
         if len(option_ids) != values.shape[0]:
             raise DimensionMismatchError("one option id per row is required")
         self.option_ids: List = option_ids
+        self._id_to_index: Optional[dict] = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -97,8 +98,26 @@ class Dataset:
         return self.option_ids[index]
 
     def index_of(self, option_id) -> int:
-        """Positional index of the option with original identifier ``option_id``."""
-        return self.option_ids.index(option_id)
+        """Positional index of the option with original identifier ``option_id``.
+
+        O(1) after the first call: the id→index mapping is built lazily and
+        reused (option ids are fixed at construction time).  With duplicate
+        ids the first occurrence wins, matching ``list.index``.
+        """
+        if self._id_to_index is None:
+            try:
+                mapping: dict = {}
+                for index, existing in enumerate(self.option_ids):
+                    mapping.setdefault(existing, index)
+                self._id_to_index = mapping
+            except TypeError:  # unhashable ids: keep the linear-scan behaviour
+                return self.option_ids.index(option_id)
+        try:
+            return self._id_to_index[option_id]
+        except KeyError:
+            raise ValueError(f"{option_id!r} is not in the dataset") from None
+        except TypeError:  # unhashable lookup key: match list.index semantics
+            return self.option_ids.index(option_id)
 
     # ------------------------------------------------------------------ #
     # derived datasets

@@ -1,0 +1,108 @@
+"""A small thread-safe bounded LRU cache with hit/miss/eviction counters.
+
+The query engine keys expensive per-query intermediates (r-skyband results,
+full query answers) by ``(k, region fingerprint)``; a bounded LRU keeps the
+memory of long-lived engine sessions constant while interactive workloads —
+which revisit a handful of recent ``(k, region)`` combinations — stay almost
+entirely in cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Counters of one :class:`LRUCache` (mirrors ``functools.lru_cache``)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    currsize: int
+    maxsize: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reports and ``TopRREngine.cache_info``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "currsize": self.currsize,
+            "maxsize": self.maxsize,
+        }
+
+
+class LRUCache:
+    """Bounded least-recently-used mapping.
+
+    ``maxsize <= 0`` disables the cache entirely (every ``get`` misses and
+    ``put`` is a no-op), which the experiment runner uses to keep timing
+    measurements honest while still routing through the engine.
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Any:
+        """The cached value, or :data:`MISSING`; refreshes recency on hit."""
+        with self._lock:
+            value = self._data.get(key, MISSING)
+            if value is MISSING:
+                self._misses += 1
+            else:
+                self._hits += 1
+                self._data.move_to_end(key)
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh an entry, evicting the least recently used if full."""
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    def info(self) -> CacheInfo:
+        """Current counters."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                currsize=len(self._data),
+                maxsize=self.maxsize,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        info = self.info()
+        return (
+            f"LRUCache(size={info.currsize}/{info.maxsize}, hits={info.hits}, "
+            f"misses={info.misses}, evictions={info.evictions})"
+        )

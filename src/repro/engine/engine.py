@@ -1,0 +1,350 @@
+"""A session-scoped TopRR query engine with cross-query caching.
+
+:func:`repro.core.toprr.solve_toprr` answers one query and throws everything
+away.  Interactive and batched preference workloads — an analyst exploring
+clientele segments, a recommendation layer probing many ``(k, region)``
+combinations against one catalogue — re-pay three costs on every call that
+depend only on the dataset (or on the ``(k, region)`` pair, not the call):
+
+1. the affine score form of the dataset over the reduced preference space,
+2. the r-skyband pre-filter for the ``(k, region)`` pair,
+3. the full solve itself when the exact same query is repeated.
+
+:class:`TopRREngine` binds a dataset once and amortises all three: the
+affine form is computed lazily once and sliced per query, r-skyband results
+and complete answers are kept in bounded LRU caches keyed by
+``(k, region fingerprint)``.  ``query_batch`` runs many queries through one
+engine (serially, via threads, or via worker processes), and ``warm``
+precomputes the filter for an anticipated query mix.
+
+Results are exactly those of :func:`~repro.core.toprr.solve_toprr` — the
+engine only changes where the intermediates come from, never what they are
+(the parity tests in ``tests/test_engine.py`` assert this).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.kipr import WorkingSet
+from repro.core.impact import build_impact_region
+from repro.core.stats import SolverStats
+from repro.core.toprr import SolverLike, TopRRResult, make_solver
+from repro.data.dataset import Dataset
+from repro.engine.cache import MISSING, LRUCache
+from repro.engine.fingerprint import region_fingerprint
+from repro.exceptions import InvalidParameterError
+from repro.preference.region import PreferenceRegion
+from repro.preference.space import PreferenceSpace
+from repro.pruning.rskyband import r_skyband
+from repro.utils.rng import RngLike
+from repro.utils.timer import Timer
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+#: Executor labels accepted by :meth:`TopRREngine.query_batch`.
+BATCH_EXECUTORS = ("serial", "thread", "process")
+
+#: One query of a batch: ``(k, region)``.
+QuerySpec = Tuple[int, PreferenceRegion]
+
+
+def _solve_query_worker(dataset, k, region, method, prefilter, clip, bounds, rng, tol):
+    """Process-pool worker: one independent solve (no shared caches)."""
+    from repro.core.toprr import solve_toprr
+
+    return solve_toprr(
+        dataset,
+        k,
+        region,
+        method=method,
+        prefilter=prefilter,
+        clip_to_unit_box=clip,
+        option_bounds=bounds,
+        rng=rng,
+        tol=tol,
+    )
+
+
+class TopRREngine:
+    """Bind a dataset once, answer many TopRR queries fast.
+
+    Parameters
+    ----------
+    dataset:
+        The option dataset ``D`` this engine serves.
+    method:
+        Default solver for queries that do not specify one
+        (``"tas*"``, ``"tas"``, ``"pac"``, or a solver instance).
+    prefilter:
+        Apply the r-skyband pre-filter (as :func:`solve_toprr` does).
+    clip_to_unit_box, option_bounds:
+        Output-region clipping, as in :func:`solve_toprr`.
+    rng:
+        Seed for each query's solver (a fresh solver is built per query so
+        repeated queries are deterministic and match ``solve_toprr``).
+    tol:
+        Numerical tolerance bundle shared by all queries.
+    skyband_cache_size:
+        Bound of the r-skyband LRU (entries are keyed by
+        ``(k, region fingerprint)``).  ``0`` disables the cache.
+    result_cache_size:
+        Bound of the full-result LRU (keyed by ``(k, fingerprint, method)``).
+        ``0`` disables result reuse.
+
+    Examples
+    --------
+    >>> from repro.data.generators import generate_independent
+    >>> from repro.preference.region import PreferenceRegion
+    >>> engine = TopRREngine(generate_independent(2_000, 3, rng=1))
+    >>> region = PreferenceRegion.hyperrectangle([(0.3, 0.35), (0.3, 0.35)])
+    >>> result = engine.query(5, region)
+    >>> result is engine.query(5, region)  # served from the result cache
+    True
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        method: SolverLike = "tas*",
+        prefilter: bool = True,
+        clip_to_unit_box: bool = True,
+        option_bounds: Optional[tuple] = None,
+        rng: RngLike = 0,
+        tol: Tolerance = DEFAULT_TOL,
+        skyband_cache_size: int = 128,
+        result_cache_size: int = 64,
+    ):
+        self.dataset = dataset
+        self.method = method
+        self.prefilter = bool(prefilter)
+        self.clip_to_unit_box = bool(clip_to_unit_box)
+        self.option_bounds = option_bounds
+        self.rng = rng
+        self.tol = tol
+        self._space = PreferenceSpace(dataset.n_attributes)
+        self._affine: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._skyband_cache = LRUCache(skyband_cache_size)
+        self._result_cache = LRUCache(result_cache_size)
+        self._counter_lock = threading.Lock()
+        self.n_queries = 0
+
+    # ------------------------------------------------------------------ #
+    # bound intermediates
+    # ------------------------------------------------------------------ #
+    def affine_form(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The dataset's affine score form, computed once and reused."""
+        if self._affine is None:
+            self._affine = self._space.affine_score_form(self.dataset.values)
+        return self._affine
+
+    def _validate(self, k: int, region: PreferenceRegion) -> None:
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        if k > self.dataset.n_options:
+            raise InvalidParameterError(
+                f"k={k} exceeds the dataset size {self.dataset.n_options}; "
+                "every placement would qualify"
+            )
+        if region.n_attributes != self.dataset.n_attributes:
+            raise InvalidParameterError(
+                f"region is defined for {region.n_attributes}-attribute options but the dataset "
+                f"has {self.dataset.n_attributes} attributes"
+            )
+
+    def prefiltered(
+        self, k: int, region: PreferenceRegion
+    ) -> Tuple[Dataset, WorkingSet, bool]:
+        """``(D', root working set, cache_hit)`` for one ``(k, region)`` pair.
+
+        ``D'`` is the r-skyband subset (or the dataset itself when the engine
+        was built with ``prefilter=False``); the working set is sliced from
+        the bound affine form, so no per-query score-form computation occurs.
+        """
+        coefficients, constants = self.affine_form()
+        if not self.prefilter:
+            working = WorkingSet.from_affine_form(coefficients, constants, k)
+            return self.dataset, working, False
+
+        key = (int(k), region_fingerprint(region))
+        cached = self._skyband_cache.get(key)
+        if cached is not MISSING:
+            return cached[0], cached[1], True
+
+        kept = r_skyband(self.dataset, k, region, tol=self.tol)
+        filtered = self.dataset.subset(kept, name=f"{self.dataset.name}[r-skyband]")
+        working = WorkingSet.from_affine_form(coefficients[kept], constants[kept], k)
+        self._skyband_cache.put(key, (filtered, working))
+        return filtered, working, False
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        k: int,
+        region: PreferenceRegion,
+        method: Optional[SolverLike] = None,
+        use_cache: bool = True,
+    ) -> TopRRResult:
+        """Solve one TopRR query against the bound dataset.
+
+        Identical in contract to :func:`repro.core.toprr.solve_toprr`; when
+        the same ``(k, region, method)`` was answered recently, the cached
+        :class:`TopRRResult` object is returned as-is.
+        """
+        self._validate(k, region)
+        with self._counter_lock:  # query() is also called from thread-pool batches
+            self.n_queries += 1
+        method = self.method if method is None else method
+
+        result_key: Optional[tuple] = None
+        if use_cache and isinstance(method, str):
+            result_key = (int(k), region_fingerprint(region), method.lower())
+            cached = self._result_cache.get(result_key)
+            if cached is not MISSING:
+                return cached
+
+        solver = make_solver(method, rng=self.rng, tol=self.tol)
+        stats = SolverStats()
+        stats.n_input_options = self.dataset.n_options
+
+        timer = Timer().start()
+        filtered, working, skyband_hit = self.prefiltered(k, region)
+        stats.n_filtered_options = filtered.n_options
+
+        vall = solver.partition(filtered, k, region, stats=stats, working=working)
+        polytope, full_weights, thresholds = build_impact_region(
+            filtered,
+            vall,
+            k,
+            clip_to_unit_box=self.clip_to_unit_box,
+            bounds=self.option_bounds,
+            tol=self.tol,
+        )
+        stats.seconds = timer.stop()
+        stats.n_after_lemma5 = stats.n_after_lemma5 or filtered.n_options
+        stats.extra["skyband_cache_hit"] = bool(skyband_hit)
+
+        result = TopRRResult(
+            dataset=self.dataset,
+            filtered=filtered,
+            k=k,
+            region=region,
+            vertices_reduced=vall,
+            full_weights=full_weights,
+            thresholds=thresholds,
+            polytope=polytope,
+            stats=stats,
+            method=getattr(solver, "name", str(method)),
+            tol=self.tol,
+        )
+        if result_key is not None:
+            self._result_cache.put(result_key, result)
+        return result
+
+    def query_batch(
+        self,
+        queries: Iterable[Union[QuerySpec, Sequence]],
+        method: Optional[SolverLike] = None,
+        executor: str = "serial",
+        n_workers: int = 4,
+        use_cache: bool = True,
+    ) -> List[TopRRResult]:
+        """Answer many ``(k, region)`` queries; results keep the input order.
+
+        Parameters
+        ----------
+        queries:
+            Iterable of ``(k, region)`` pairs.
+        executor:
+            ``"serial"`` (default) runs in-process and shares all caches;
+            ``"thread"`` fans out over a thread pool (caches are shared and
+            thread-safe; numpy/qhull release the GIL for the heavy parts —
+            note that identical queries running *concurrently* each solve
+            before the first populates the cache, so repeats only hit once
+            the earlier answer has landed);
+            ``"process"`` uses worker processes as
+            :mod:`repro.core.parallel` does — fully parallel but without
+            shared caches, appropriate for batches of mostly-distinct heavy
+            queries.
+        n_workers:
+            Pool size for the ``"thread"`` and ``"process"`` executors.
+        """
+        specs: List[QuerySpec] = [(int(k), region) for k, region in queries]
+        if executor not in BATCH_EXECUTORS:
+            raise InvalidParameterError(
+                f"unknown executor {executor!r}; expected one of {BATCH_EXECUTORS}"
+            )
+        if n_workers <= 0:
+            raise InvalidParameterError(f"n_workers must be positive, got {n_workers}")
+
+        if executor == "serial" or len(specs) <= 1:
+            return [self.query(k, region, method=method, use_cache=use_cache) for k, region in specs]
+
+        if executor == "thread":
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                futures = [
+                    pool.submit(self.query, k, region, method, use_cache) for k, region in specs
+                ]
+                return [future.result() for future in futures]
+
+        resolved = self.method if method is None else method
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(
+                    _solve_query_worker,
+                    self.dataset,
+                    k,
+                    region,
+                    resolved,
+                    self.prefilter,
+                    self.clip_to_unit_box,
+                    self.option_bounds,
+                    self.rng,
+                    self.tol,
+                )
+                for k, region in specs
+            ]
+            return [future.result() for future in futures]
+
+    def warm(self, ks: Iterable[int], regions: Iterable[PreferenceRegion]) -> int:
+        """Precompute the r-skyband for every ``(k, region)`` combination.
+
+        Returns the number of entries actually computed (combinations already
+        cached are skipped).  Useful before serving an anticipated query mix.
+        """
+        regions = list(regions)
+        computed = 0
+        for k in ks:
+            for region in regions:
+                self._validate(k, region)
+                _filtered, _working, hit = self.prefiltered(k, region)
+                if not hit:
+                    computed += 1
+        return computed
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> dict:
+        """Hit/miss/eviction counters of both caches plus the query count."""
+        return {
+            "n_queries": self.n_queries,
+            "skyband": self._skyband_cache.info().as_dict(),
+            "results": self._result_cache.info().as_dict(),
+        }
+
+    def clear_caches(self) -> None:
+        """Drop every cached intermediate (the bound affine form is kept)."""
+        self._skyband_cache.clear()
+        self._result_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TopRREngine(dataset={self.dataset.name!r}, n={self.dataset.n_options}, "
+            f"method={self.method!r}, queries={self.n_queries})"
+        )

@@ -1,0 +1,26 @@
+"""Hashable fingerprints for cache keys.
+
+A preference region is fingerprinted by its defining vertices (rounded and
+lexicographically sorted), so two regions describing the same polytope hash
+identically even when their halfspace representations differ (e.g. one
+carries redundant constraints).  Datasets are fingerprinted by identity plus
+shape — engines are bound to one dataset, so this only guards against
+accidental cross-engine key reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.preference.region import PreferenceRegion
+
+
+def region_fingerprint(region: PreferenceRegion, decimals: int = 10) -> Tuple:
+    """A hashable fingerprint of a preference region (rounded sorted vertices)."""
+    vertices = np.round(np.asarray(region.vertices, dtype=float), decimals)
+    # Avoid -0.0 vs 0.0 hashing apart after rounding.
+    vertices = vertices + 0.0
+    order = np.lexsort(vertices.T[::-1]) if vertices.size else np.arange(0)
+    return tuple(map(tuple, vertices[order]))

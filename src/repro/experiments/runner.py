@@ -1,4 +1,11 @@
-"""Measurement runner: execute TopRR methods on workloads and aggregate statistics."""
+"""Measurement runner: execute TopRR methods on workloads and aggregate statistics.
+
+Workloads are served through a per-dataset :class:`repro.engine.TopRREngine`
+so that the dataset's affine score form is bound once per dataset rather
+than recomputed per query.  Both LRU caches are disabled — the runner's job
+is to *measure* solving, and serving a repeated workload from cache would
+report the lookup, not the solve.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.toprr import solve_toprr
+from repro.engine import TopRREngine
 from repro.experiments.workloads import Workload
 from repro.utils.timer import Timer
 
@@ -39,6 +46,15 @@ class Measurement:
         }
 
 
+def _measurement_engine(dataset, engines: Dict[int, TopRREngine]) -> TopRREngine:
+    """One cache-less engine per distinct workload dataset (affine form bound once)."""
+    engine = engines.get(id(dataset))
+    if engine is None:
+        engine = TopRREngine(dataset, skyband_cache_size=0, result_cache_size=0)
+        engines[id(dataset)] = engine
+    return engine
+
+
 def run_method(
     method: str,
     workloads: Sequence[Workload],
@@ -46,10 +62,11 @@ def run_method(
 ) -> Measurement:
     """Run ``method`` (or an explicit solver) on every workload and average the results."""
     rows = []
+    engines: Dict[int, TopRREngine] = {}
     for workload in workloads:
+        engine = _measurement_engine(workload.dataset, engines)
         timer = Timer().start()
-        result = solve_toprr(
-            workload.dataset,
+        result = engine.query(
             workload.k,
             workload.region,
             method=solver if solver is not None else _METHOD_KEYS.get(method, method),

@@ -1,0 +1,209 @@
+"""Tests for the session-scoped :class:`repro.engine.TopRREngine`.
+
+Covers: result parity with sequential :func:`solve_toprr`, cache hits and
+LRU eviction, batch execution (serial and threaded), cache warming, the
+engine-aware sampled baseline, and the CLI ``batch`` command.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.sampled import sampled_toprr
+from repro.core.toprr import solve_toprr
+from repro.data.generators import generate_independent
+from repro.engine import LRUCache, TopRREngine, region_fingerprint
+from repro.engine.cache import MISSING
+from repro.exceptions import InvalidParameterError
+from repro.preference.region import PreferenceRegion
+
+
+@pytest.fixture(scope="module")
+def catalogue():
+    return generate_independent(1_500, 3, rng=17)
+
+
+@pytest.fixture(scope="module")
+def regions():
+    return [
+        PreferenceRegion.hyperrectangle([(0.30, 0.36), (0.30, 0.36)]),
+        PreferenceRegion.hyperrectangle([(0.20, 0.26), (0.40, 0.46)]),
+        PreferenceRegion.hyperrectangle([(0.45, 0.50), (0.15, 0.20)]),
+    ]
+
+
+class TestLRUCache:
+    def test_get_put_and_counters(self):
+        cache = LRUCache(2)
+        assert cache.get("a") is MISSING
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        info = cache.info()
+        assert (info.hits, info.misses, info.currsize) == (1, 1, 1)
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISSING
+        assert cache.get("a") == 1
+        assert cache.info().evictions == 1
+
+    def test_zero_size_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is MISSING
+        assert len(cache) == 0
+
+
+class TestRegionFingerprint:
+    def test_equal_regions_share_fingerprints(self):
+        a = PreferenceRegion.hyperrectangle([(0.2, 0.3), (0.1, 0.2)])
+        b = PreferenceRegion.hyperrectangle([(0.2, 0.3), (0.1, 0.2)])
+        assert region_fingerprint(a) == region_fingerprint(b)
+
+    def test_distinct_regions_differ(self):
+        a = PreferenceRegion.hyperrectangle([(0.2, 0.3), (0.1, 0.2)])
+        b = PreferenceRegion.hyperrectangle([(0.2, 0.3), (0.1, 0.21)])
+        assert region_fingerprint(a) != region_fingerprint(b)
+
+
+class TestEngineQuery:
+    def test_parity_with_solve_toprr(self, catalogue, regions):
+        engine = TopRREngine(catalogue)
+        for k, region in [(5, regions[0]), (3, regions[1]), (8, regions[2])]:
+            from_engine = engine.query(k, region)
+            standalone = solve_toprr(catalogue, k, region)
+            assert from_engine.n_vertices == standalone.n_vertices
+            assert np.array_equal(
+                np.sort(from_engine.thresholds), np.sort(standalone.thresholds)
+            )
+            assert from_engine.filtered.n_options == standalone.filtered.n_options
+            probes = np.random.default_rng(k).random((200, 3))
+            assert np.array_equal(
+                from_engine.contains_many(probes), standalone.contains_many(probes)
+            )
+
+    def test_repeated_query_served_from_result_cache(self, catalogue, regions):
+        engine = TopRREngine(catalogue)
+        first = engine.query(5, regions[0])
+        second = engine.query(5, regions[0])
+        assert first is second
+        info = engine.cache_info()
+        assert info["results"]["hits"] == 1
+        assert info["n_queries"] == 2
+
+    def test_skyband_cache_shared_across_methods(self, catalogue, regions):
+        engine = TopRREngine(catalogue)
+        engine.query(5, regions[0], method="tas*")
+        result = engine.query(5, regions[0], method="tas")
+        # Different method: full solve, but the r-skyband comes from cache.
+        assert result.stats.extra["skyband_cache_hit"] is True
+        assert engine.cache_info()["skyband"]["hits"] == 1
+
+    def test_result_cache_eviction(self, catalogue, regions):
+        engine = TopRREngine(catalogue, result_cache_size=2, skyband_cache_size=2)
+        for region in regions:  # 3 distinct queries through a size-2 LRU
+            engine.query(5, region)
+        info = engine.cache_info()
+        assert info["results"]["evictions"] == 1
+        assert info["skyband"]["evictions"] == 1
+        # The first region was evicted: querying it again is a miss.
+        engine.query(5, regions[0])
+        assert engine.cache_info()["results"]["hits"] == 0
+
+    def test_use_cache_false_bypasses(self, catalogue, regions):
+        engine = TopRREngine(catalogue)
+        first = engine.query(5, regions[0])
+        second = engine.query(5, regions[0], use_cache=False)
+        assert first is not second
+        assert first.n_vertices == second.n_vertices
+
+    def test_validation_matches_solve_toprr(self, catalogue, regions):
+        engine = TopRREngine(catalogue)
+        with pytest.raises(InvalidParameterError):
+            engine.query(0, regions[0])
+        with pytest.raises(InvalidParameterError):
+            engine.query(catalogue.n_options + 1, regions[0])
+        with pytest.raises(InvalidParameterError):
+            engine.query(5, PreferenceRegion.hyperrectangle([(0.2, 0.3), (0.2, 0.3), (0.1, 0.2)]))
+
+    def test_prefilter_disabled(self, catalogue, regions):
+        engine = TopRREngine(catalogue, prefilter=False)
+        result = engine.query(4, regions[0])
+        assert result.filtered is catalogue
+        reference = solve_toprr(catalogue, 4, regions[0], prefilter=False)
+        assert result.n_vertices == reference.n_vertices
+
+
+class TestEngineBatch:
+    def batch_specs(self, regions):
+        return [(5, regions[0]), (3, regions[1]), (5, regions[0]), (8, regions[2])]
+
+    def test_batch_parity_with_sequential(self, catalogue, regions):
+        engine = TopRREngine(catalogue)
+        specs = self.batch_specs(regions)
+        batch = engine.query_batch(specs)
+        assert len(batch) == len(specs)
+        for (k, region), result in zip(specs, batch):
+            reference = solve_toprr(catalogue, k, region)
+            assert result.k == k
+            assert result.n_vertices == reference.n_vertices
+            assert np.array_equal(np.sort(result.thresholds), np.sort(reference.thresholds))
+
+    def test_batch_thread_executor(self, catalogue, regions):
+        engine = TopRREngine(catalogue)
+        specs = self.batch_specs(regions)
+        batch = engine.query_batch(specs, executor="thread", n_workers=2)
+        serial = engine.query_batch(specs)
+        for threaded, reference in zip(batch, serial):
+            assert threaded.n_vertices == reference.n_vertices
+
+    def test_batch_rejects_unknown_executor(self, catalogue, regions):
+        engine = TopRREngine(catalogue)
+        with pytest.raises(InvalidParameterError):
+            engine.query_batch([(5, regions[0])], executor="gpu")
+
+    def test_warm_precomputes_skyband(self, catalogue, regions):
+        engine = TopRREngine(catalogue)
+        computed = engine.warm([4, 6], regions[:2])
+        assert computed == 4
+        assert engine.warm([4], regions[:1]) == 0  # already cached
+        engine.query(4, regions[0])
+        assert engine.cache_info()["skyband"]["hits"] >= 1
+
+
+class TestSampledWithEngine:
+    def test_sampled_reuses_engine_prefilter(self, catalogue, regions):
+        engine = TopRREngine(catalogue)
+        engine.warm([5], regions[:1])
+        baseline = sampled_toprr(catalogue, 5, regions[0], n_samples=16, engine=engine)
+        plain = sampled_toprr(catalogue, 5, regions[0], n_samples=16)
+        assert baseline.filtered.n_options == plain.filtered.n_options
+        assert engine.cache_info()["skyband"]["hits"] >= 1
+
+    def test_sampled_rejects_foreign_engine(self, catalogue, regions):
+        other = generate_independent(100, 3, rng=3)
+        engine = TopRREngine(other)
+        with pytest.raises(InvalidParameterError):
+            sampled_toprr(catalogue, 5, regions[0], engine=engine)
+
+
+class TestCLIBatch:
+    def test_batch_command_smoke(self, capsys):
+        code = cli_main(
+            [
+                "batch",
+                "--n", "400",
+                "--d", "3",
+                "--k", "4",
+                "--queries", "6",
+                "--distinct", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine batch" in out
+        assert "result cache" in out
