@@ -5,6 +5,9 @@
   consistent top-λ detection (Lemma 5), optimized testing (Lemma 7).
 * :mod:`repro.core.profiles` — the array-backed :class:`RegionProfiles`
   kernel computing all vertex profiles of a region in one batched operation.
+* :mod:`repro.core.scorecache` — the incremental split-tree vertex-score
+  memo (per-vertex score rows and top-k orderings reused along the
+  recursion, frontier-batched kernel launches).
 * :mod:`repro.core.splitting` — splitting-hyperplane selection (random and
   k-switch, Definition 4) and the split operation.
 * :mod:`repro.core.tas` — the Test-and-Split algorithm (Algorithm 1).

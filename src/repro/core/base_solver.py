@@ -13,9 +13,16 @@ implements the loop with three switches:
 
 The recursion is implemented with an explicit stack so that deep partitions
 do not hit Python's recursion limit.  Region testing runs on the vectorized
-:class:`~repro.core.profiles.RegionProfiles` kernel: one batched score
-matrix and top-k ordering per popped region instead of a Python loop over
-its vertices.
+:class:`~repro.core.profiles.RegionProfiles` kernel and, by default, through
+the incremental split-tree memo of :mod:`repro.core.scorecache`: a popped
+region only pays the kernel for the vertices its cut introduced (everything
+inherited from the parent — or shared with the sibling — is a cache hit,
+and Lemma-5 option removals slice the cached rows by column mask), and
+fresh vertices are scored together with the whole pending frontier in one
+kernel call, so launches scale with tree depth rather than region count.
+The memoized path is bit-identical to the from-scratch one
+(``incremental=False``); the parity suite in ``tests/test_incremental.py``
+asserts equal ``V_all``, stats and split decisions.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ import numpy as np
 
 from repro.core.kipr import WorkingSet
 from repro.core.profiles import RegionProfiles
+from repro.core.scorecache import VertexScoreMemo, pending_frontier
 from repro.core.splitting import split_region
 from repro.core.stats import SolverStats
 from repro.data.dataset import Dataset
@@ -56,6 +64,11 @@ class BaseTestAndSplit:
         which signals a degenerate instance rather than silently looping.
     tol:
         Tolerance bundle forwarded to the geometric predicates.
+    incremental:
+        Route region testing through the split-tree vertex-score memo
+        (:class:`~repro.core.scorecache.VertexScoreMemo`).  Disabling it
+        recovers the PR-1 per-region kernel — results are bit-identical
+        either way; the switch exists for parity testing and benchmarking.
     """
 
     #: Human-readable solver name, overridden by subclasses.
@@ -69,6 +82,7 @@ class BaseTestAndSplit:
         rng: RngLike = 0,
         max_regions: int = 500_000,
         tol: Tolerance = DEFAULT_TOL,
+        incremental: bool = True,
     ):
         self.use_lemma5 = bool(use_lemma5)
         self.use_lemma7 = bool(use_lemma7)
@@ -76,6 +90,7 @@ class BaseTestAndSplit:
         self._rng = ensure_rng(rng)
         self.max_regions = int(max_regions)
         self.tol = tol
+        self.incremental = bool(incremental)
 
     # ------------------------------------------------------------------ #
     # the recursive partitioning loop
@@ -87,6 +102,7 @@ class BaseTestAndSplit:
         region: PreferenceRegion,
         stats: Optional[SolverStats] = None,
         working: Optional[WorkingSet] = None,
+        score_memo: Optional[VertexScoreMemo] = None,
     ) -> np.ndarray:
         """Partition ``region`` and return ``V_all`` (reduced vertex coordinates).
 
@@ -94,7 +110,10 @@ class BaseTestAndSplit:
         options that can appear in a top-k result inside ``region``); the
         front end in :mod:`repro.core.toprr` takes care of that.  ``working``
         optionally supplies a prebuilt root working set (the query engine
-        passes one sliced from the dataset's cached affine score form).
+        passes one sliced from the dataset's cached affine score form), and
+        ``score_memo`` a vertex-score memo bound to the same affine form —
+        the engine shares one per cached r-skyband entry so repeated queries
+        reuse each other's vertex scores.
         """
         if k <= 0:
             raise InvalidParameterError(f"k must be positive, got {k}")
@@ -106,6 +125,7 @@ class BaseTestAndSplit:
         root_working = working if working is not None else WorkingSet.from_dataset(filtered, k)
         stats.k_effective = root_working.k
         stats.n_after_lemma5 = root_working.n_active
+        memo = VertexScoreMemo.resolve(root_working, score_memo, self.incremental)
 
         accepted_vertex_sets: List[np.ndarray] = []
         stack: List[Tuple[PreferenceRegion, WorkingSet]] = [(region, root_working)]
@@ -129,7 +149,7 @@ class BaseTestAndSplit:
             if vertices.shape[0] == 0:
                 continue
 
-            profiles = RegionProfiles.compute(working, vertices)
+            profiles = self._region_profiles(memo, working, vertices, stack, stats)
 
             if self.use_lemma5:
                 lam, phi = profiles.consistent_top_lambda(working.k)
@@ -143,7 +163,15 @@ class BaseTestAndSplit:
                         # are subtree-local (sibling regions keep the
                         # removed options) and must not overwrite it.
                         stats.n_after_lemma5 = working.n_active
-                    profiles = RegionProfiles.compute(working, vertices)
+                    if memo is None:
+                        profiles = RegionProfiles.compute(working, vertices)
+                    else:
+                        # The removed options are the shared top-λ prefix, so
+                        # the reduced profiles are a column slice of the ones
+                        # just computed — no rescore (see scorecache).
+                        profiles = memo.lemma5_sliced_profiles(
+                            working, vertices, profiles, lam, stats
+                        )
 
             violation = profiles.kipr_violation()
             if violation is None:
@@ -190,6 +218,30 @@ class BaseTestAndSplit:
         stats.n_vertices = int(vall.shape[0])
         return vall
 
+    @staticmethod
+    def _region_profiles(
+        memo: Optional[VertexScoreMemo],
+        working: WorkingSet,
+        vertices: np.ndarray,
+        stack: List[Tuple[PreferenceRegion, WorkingSet]],
+        stats: SolverStats,
+    ) -> RegionProfiles:
+        """Profiles of one popped region, via the memo when enabled.
+
+        ``stack`` supplies the pending frontier: when the region misses the
+        memo, the union of unscored vertices across the whole frontier is
+        scored in the same kernel call (lazily — the stack is only walked on
+        a miss).
+        """
+        if memo is None:
+            return RegionProfiles.compute(working, vertices)
+        return memo.region_profiles(
+            working,
+            vertices,
+            frontier=lambda: pending_frontier(reversed(stack)),
+            stats=stats,
+        )
+
     def describe(self) -> dict:
         """Configuration summary used in experiment reports."""
         return {
@@ -197,4 +249,5 @@ class BaseTestAndSplit:
             "use_lemma5": self.use_lemma5,
             "use_lemma7": self.use_lemma7,
             "strategy": self.strategy,
+            "incremental": self.incremental,
         }

@@ -29,6 +29,7 @@ representation and dispatch to the vectorized path when given a
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -54,10 +55,17 @@ class WorkingSet:
     * ``k`` — the current (possibly Lemma-5-reduced) query parameter.
 
     Working sets are immutable; Lemma 5 pruning produces a new one via
-    :meth:`without_options`.
+    :meth:`without_options`.  Every instance carries a process-unique ``uid``
+    so caches (e.g. the vertex-score memo of
+    :mod:`repro.core.scorecache`) can key per-working-set results without
+    holding a reference — immutability makes the uid a stable identity for
+    the ``(active, k)`` pair.
     """
 
-    __slots__ = ("coefficients", "constants", "active", "k", "_active_form")
+    __slots__ = ("coefficients", "constants", "active", "k", "uid", "_active_form")
+
+    #: Process-wide uid source (``itertools.count.__next__`` is atomic).
+    _uid_counter = itertools.count()
 
     def __init__(
         self,
@@ -70,6 +78,7 @@ class WorkingSet:
         self.constants = constants
         self.active = np.asarray(active, dtype=int)
         self.k = int(k)
+        self.uid = next(WorkingSet._uid_counter)
         self._active_form: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @classmethod

@@ -39,9 +39,13 @@ class PACSolver:
         rng: RngLike = 0,
         max_regions: int = 500_000,
         tol: Tolerance = DEFAULT_TOL,
+        incremental: bool = True,
     ):
-        self._partitioner = UTKPartitioner(rng=rng, max_regions=max_regions, tol=tol)
+        self._partitioner = UTKPartitioner(
+            rng=rng, max_regions=max_regions, tol=tol, incremental=incremental
+        )
         self.tol = tol
+        self.incremental = bool(incremental)
 
     def partition(
         self,
@@ -50,12 +54,15 @@ class PACSolver:
         region: PreferenceRegion,
         stats: Optional[SolverStats] = None,
         working=None,
+        score_memo=None,
     ) -> np.ndarray:
         """Run UTK on ``region`` and return the union of the cells' vertices (``V_all``)."""
         stats = stats if stats is not None else SolverStats()
         # PAC performs no Lemma 5 pruning: the candidate set is unchanged.
         stats.n_after_lemma5 = filtered.n_options
-        cells = self._partitioner.partition(filtered, k, region, stats=stats, working=working)
+        cells = self._partitioner.partition(
+            filtered, k, region, stats=stats, working=working, score_memo=score_memo
+        )
         vertex_sets = []
         for cell in cells:
             try:

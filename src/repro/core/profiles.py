@@ -64,15 +64,30 @@ def affine_scores(
 
 
 def _topk_order_full(scores: np.ndarray, ids: np.ndarray, k: int) -> np.ndarray:
-    """Top-k global ids per row by full batched sort (exact reference path).
+    """Top-k global ids per row with the exact legacy tie-break (reference path).
 
-    Sorts every row of ``scores`` by decreasing value with ties broken by
-    ascending id — exactly the per-vertex ``np.lexsort((ids, -scores))[:k]``
-    of the legacy kernel, batched over rows.
+    Equivalent to the per-vertex ``np.lexsort((ids, -scores))[:k]`` of the
+    legacy kernel.  Narrow rows sort in one batched ``lexsort``; wide rows
+    first select every entry that can reach the top k — score at least the
+    k-th largest value, boundary ties included — via ``argpartition`` and
+    only sort the selection.  Entries below the boundary sort after every
+    selected one under the ``(-score, id)`` key, so restricting the sort to
+    the selection returns the identical first k rows.
     """
-    keys = np.broadcast_to(ids, scores.shape)
-    order = np.lexsort((keys, -scores), axis=-1)[:, :k]
-    return ids[order]
+    n = scores.shape[1]
+    if n < _PARTITION_MIN_ACTIVE or n <= 4 * k:
+        keys = np.broadcast_to(ids, scores.shape)
+        order = np.lexsort((keys, -scores), axis=-1)[:, :k]
+        return ids[order]
+    part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    boundary = np.take_along_axis(scores, part, axis=1).min(axis=1)
+    out = np.empty((scores.shape[0], k), dtype=ids.dtype)
+    for row in range(scores.shape[0]):
+        selected = np.flatnonzero(scores[row] >= boundary[row])
+        selected_ids = ids[selected]
+        order = np.lexsort((selected_ids, -scores[row, selected]))[:k]
+        out[row] = selected_ids[order]
+    return out
 
 
 def _topk_order_partition(scores: np.ndarray, ids: np.ndarray, k: int) -> Optional[np.ndarray]:
@@ -99,19 +114,44 @@ def _topk_order_partition(scores: np.ndarray, ids: np.ndarray, k: int) -> Option
 def topk_order_matrix(scores: np.ndarray, ids: np.ndarray, k: int) -> np.ndarray:
     """``(n_rows, k)`` matrix of the top-k ids of every row of ``scores``.
 
-    Rows are ordered by decreasing score, ties broken by ascending id.  Uses
-    the ``argpartition`` fast path when the rows are wide enough for it to
-    pay off and no score tie straddles the k-boundary.
+    Rows are ordered by decreasing score, ties broken by ascending id.  Wide
+    rows go through one ``argpartition``; rows where a score tie straddles
+    the k-boundary (where ``argpartition``'s selection is not guaranteed to
+    match the legacy tie-break) are resolved individually by sorting every
+    entry at or above the boundary score — per row, so one tie-heavy vertex
+    no longer drags its whole batch onto the full-sort path.  Results are
+    bit-identical to the batched ``lexsort`` reference in every case.
     """
     n = scores.shape[1]
     k = min(k, n)
     if k == 0 or scores.shape[0] == 0:
         return np.empty((scores.shape[0], k), dtype=ids.dtype)
-    if n >= _PARTITION_MIN_ACTIVE and n > 4 * k:
-        ordered = _topk_order_partition(scores, ids, k)
-        if ordered is not None:
-            return ordered
-    return _topk_order_full(scores, ids, k)
+    if n < _PARTITION_MIN_ACTIVE or n <= 4 * k:
+        keys = np.broadcast_to(ids, scores.shape)
+        order = np.lexsort((keys, -scores), axis=-1)[:, :k]
+        return ids[order]
+    # One ascending two-pivot partition per batch: positions n-k.. hold the k
+    # largest entries (position n-k exactly the k-th largest), position
+    # n-k-1 exactly the (k+1)-th largest.  A tie straddles the k-boundary
+    # iff those two values are equal — no full-width boundary mask needed.
+    part = np.argpartition(scores, (n - k - 1, n - k), axis=1)
+    top = part[:, n - k :]
+    top_scores = np.take_along_axis(scores, top, axis=1)
+    kth_value = top_scores[:, 0]
+    next_value = np.take_along_axis(scores, part[:, n - k - 1 : n - k], axis=1)[:, 0]
+    straddle = next_value == kth_value
+    out = np.empty((scores.shape[0], k), dtype=ids.dtype)
+    clean = np.flatnonzero(~straddle)
+    if clean.size:
+        clean_ids = ids[top[clean]]
+        order = np.lexsort((clean_ids, -top_scores[clean]), axis=-1)
+        out[clean] = np.take_along_axis(clean_ids, order, axis=1)
+    for row in np.flatnonzero(straddle):
+        selected = np.flatnonzero(scores[row] >= kth_value[row])
+        selected_ids = ids[selected]
+        order = np.lexsort((selected_ids, -scores[row, selected]))[:k]
+        out[row] = selected_ids[order]
+    return out
 
 
 class RegionProfiles:
@@ -149,6 +189,22 @@ class RegionProfiles:
         vertices = np.atleast_2d(np.asarray(vertices, dtype=float))
         coefficients, constants = working.active_form()
         scores = affine_scores(vertices, coefficients, constants)
+        return cls.from_scores(working, vertices, scores)
+
+    @classmethod
+    def from_scores(
+        cls, working: "WorkingSet", vertices: np.ndarray, scores: np.ndarray
+    ) -> "RegionProfiles":
+        """Profiles from an already computed ``(m, n_active)`` score matrix.
+
+        Entry point of the incremental split-tree path
+        (:mod:`repro.core.scorecache`), which assembles the score matrix from
+        memoized per-vertex rows instead of a fresh kernel call.  Because
+        :func:`affine_scores` is shape-independent, a matrix assembled from
+        cached rows (and column-sliced to the active options) is bit-identical
+        to the one :meth:`compute` produces, so the resulting profiles — and
+        every verdict derived from them — are exactly the same.
+        """
         ordered = topk_order_matrix(scores, working.active, working.k)
         return cls(vertices, ordered, working)
 

@@ -107,7 +107,7 @@ def sampled_toprr(
 
     timer = Timer().start()
     if use_engine_prefilter:
-        filtered, _working, _cache_hit = engine.prefiltered(k, region)
+        filtered, _working, _memo, _cache_hit = engine.prefiltered(k, region)
     elif prefilter:
         kept = r_skyband(dataset, k, region, tol=tol)
         filtered = dataset.subset(kept, name=f"{dataset.name}[r-skyband]")

@@ -1,0 +1,455 @@
+"""Incremental vertex-score memo for the test-and-split recursion.
+
+The split tree the TAS/TAS* (and UTK) recursions build is massively
+redundant from the kernel's point of view: every child region shares all but
+a handful of defining vertices with its parent (the cut introduces the only
+new ones, and even those are shared with the sibling on the other side of
+the hyperplane), and Lemma 5 only ever shrinks the *column* set (the active
+options), never the vertices.  The PR-1 kernel still rescored the full
+``(n_vertices, n_active)`` matrix for every popped region.
+
+:class:`VertexScoreMemo` removes that redundancy in two coordinated layers:
+
+* **Score rows** — for each distinct vertex (keyed by the exact bytes of its
+  reduced coordinates) the memo holds the full-width score row over *all*
+  options of the bound affine form.  A child region only pays the kernel for
+  the genuinely new vertices its cut introduced; Lemma-5 option removals
+  become a column-mask slice of the cached rows instead of a rescore.
+* **Order rows** — the per-vertex top-k ordering is keyed by
+  ``(working set uid, vertex)``.  Within a subtree whose working set is
+  unchanged (no Lemma-5 firing), inherited vertices skip the
+  ``argpartition``/``lexsort`` stage entirely.
+
+**Frontier batching.**  When a popped region does need fresh rows,
+:meth:`ensure_rows` scores the union of unscored vertices across the region
+*and every region still pending on the solver's stack* in one
+:func:`~repro.core.profiles.affine_scores` call.  New vertices only appear
+when a split pushes children, so kernel launches scale with the depth of the
+split tree rather than with the number of regions.
+
+**Bit-identity.**  All reuse goes through the shape-independent
+:func:`~repro.core.profiles.affine_scores` accumulation: a row of a batched
+call equals the per-vertex call exactly, and a column subset of a full-width
+row equals the row computed against the sliced affine form.  Ordering rows
+are per-row independent in :func:`~repro.core.profiles.topk_order_matrix`.
+The memoized profiles are therefore *identical* — verdicts, splits,
+``V_all`` — to the from-scratch path (asserted by the parity suite in
+``tests/test_incremental.py``).
+
+The memo is bounded (LRU on both layers) and thread-safe, so the query
+engine can attach one to each cached r-skyband entry and share it across
+the queries — and threads — of a session.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Iterable, Iterator, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.profiles import RegionProfiles, affine_scores, topk_order_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.kipr import WorkingSet
+    from repro.core.stats import SolverStats
+    from repro.preference.region import PreferenceRegion
+
+#: Default bound on the memory of the score-row layer (64 MiB of rows).
+DEFAULT_MAX_BYTES = 64 << 20
+
+#: Default bound on the number of cached per-vertex top-k orderings.
+DEFAULT_MAX_ORDERS = 65_536
+
+
+def vertex_key(vertex: np.ndarray) -> bytes:
+    """Canonical hashable fingerprint of one reduced vertex.
+
+    The exact float64 bytes of the coordinates — two vertices share a cached
+    row only when their coordinates are *identical*, which is the only case
+    where reuse is sound.  ``+ 0.0`` collapses ``-0.0`` onto ``0.0`` (their
+    scores are equal, but their byte patterns are not).
+    """
+    row = np.ascontiguousarray(np.asarray(vertex, dtype=float) + 0.0)
+    return row.tobytes()
+
+
+def pending_frontier(entries: Iterable[tuple]) -> List[tuple]:
+    """``(vertices, working uid)`` pairs of the regions pending on a solver stack.
+
+    Built lazily by the solvers (wrapped in a callable that
+    :meth:`VertexScoreMemo.region_profiles` only invokes on a memo miss, i.e.
+    about once per split rather than once per region).  Regions whose vertex
+    enumeration fails (slivers the solver will skip anyway) are ignored.
+    """
+    from repro.exceptions import DegeneratePolytopeError, EmptyRegionError
+
+    out: List[tuple] = []
+    for region, working in entries:
+        try:
+            vertices = region.vertices
+        except (DegeneratePolytopeError, EmptyRegionError):
+            continue
+        if vertices.shape[0]:
+            out.append((vertices, working.uid))
+    return out
+
+
+class VertexScoreMemo:
+    """Bounded per-working-set memo of vertex score rows and top-k orderings.
+
+    Parameters
+    ----------
+    coefficients, constants:
+        The affine score form of the filtered dataset ``D'`` this memo is
+        bound to.  Rows are always full-width (all options of ``D'``);
+        working sets restrict them by column mask.
+    max_rows:
+        Bound of the score-row LRU.  Defaults to whatever fits in
+        ``max_bytes`` (at least 256 rows).
+    max_bytes:
+        Memory budget used to derive ``max_rows`` when it is not given.
+    max_orders:
+        Bound of the ordering LRU.
+    """
+
+    __slots__ = (
+        "coefficients",
+        "constants",
+        "max_rows",
+        "max_orders",
+        "_rows",
+        "_orders",
+        "_lock",
+        "row_hits",
+        "row_misses",
+        "row_evictions",
+        "order_hits",
+        "order_misses",
+        "order_evictions",
+        "n_batches",
+    )
+
+    def __init__(
+        self,
+        coefficients: np.ndarray,
+        constants: np.ndarray,
+        max_rows: Optional[int] = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        max_orders: int = DEFAULT_MAX_ORDERS,
+    ):
+        self.coefficients = np.asarray(coefficients, dtype=float)
+        self.constants = np.asarray(constants, dtype=float)
+        if max_rows is None:
+            row_bytes = max(1, self.constants.shape[0]) * 8
+            max_rows = max(256, int(max_bytes // row_bytes))
+        self.max_rows = int(max_rows)
+        self.max_orders = int(max_orders)
+        self._rows: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._orders: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_evictions = 0
+        self.order_hits = 0
+        self.order_misses = 0
+        self.order_evictions = 0
+        self.n_batches = 0
+
+    @classmethod
+    def for_working(cls, working: "WorkingSet", **kwargs) -> "VertexScoreMemo":
+        """Memo bound to the affine form of a (root) working set."""
+        return cls(working.coefficients, working.constants, **kwargs)
+
+    @classmethod
+    def resolve(
+        cls,
+        working: "WorkingSet",
+        score_memo: Optional["VertexScoreMemo"],
+        enabled: bool,
+    ) -> Optional["VertexScoreMemo"]:
+        """The memo a partition call should use.
+
+        ``None`` when the incremental path is disabled; otherwise the
+        supplied memo (validated against the working set's affine form —
+        reusing rows scored for different options would be silently wrong)
+        or a fresh one bound to ``working``.
+        """
+        from repro.exceptions import InvalidParameterError
+
+        if not enabled:
+            return None
+        if score_memo is not None:
+            if score_memo.n_options != working.coefficients.shape[0]:
+                raise InvalidParameterError(
+                    "score_memo is bound to a different affine form than the working set"
+                )
+            return score_memo
+        return cls.for_working(working)
+
+    @property
+    def n_options(self) -> int:
+        """Width of the cached rows (options of the bound ``D'``)."""
+        return self.constants.shape[0]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # ------------------------------------------------------------------ #
+    # score-row layer
+    # ------------------------------------------------------------------ #
+    def ensure_rows(
+        self,
+        vertices: np.ndarray,
+        frontier: Iterable[np.ndarray] = (),
+        stats: Optional["SolverStats"] = None,
+    ) -> int:
+        """Memoize score rows for ``vertices``; returns the rows freshly scored.
+
+        When any row of ``vertices`` is missing, the union of missing rows
+        across ``vertices`` *and* every vertex array yielded by ``frontier``
+        is scored in a single kernel call (``frontier`` is not touched
+        otherwise).  ``stats`` receives the per-region hit/computed counts.
+        """
+        vertices = np.atleast_2d(np.asarray(vertices, dtype=float))
+        keys = [vertex_key(row) for row in vertices]
+        with self._lock:
+            missing: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+            hits = 0
+            for key, row in zip(keys, vertices):
+                if key in self._rows:
+                    self._rows.move_to_end(key)
+                    hits += 1
+                elif key not in missing:
+                    missing[key] = row
+            self.row_hits += hits
+            self.row_misses += len(missing)
+        if stats is not None:
+            stats.n_score_rows_reused += hits
+        if not missing:
+            return 0
+        # A kernel launch is due: extend it with every unscored vertex of
+        # the pending frontier so the launch count tracks tree depth.  The
+        # frontier is materialised outside the lock — it may enumerate
+        # polytope vertices, which must not serialise concurrent queries.
+        frontier_batches = [np.atleast_2d(np.asarray(batch, dtype=float)) for batch in frontier]
+        with self._lock:
+            for batch in frontier_batches:
+                for key, row in zip((vertex_key(r) for r in batch), batch):
+                    if key not in self._rows and key not in missing:
+                        missing[key] = row
+            to_score = np.array(list(missing.values()), dtype=float)
+        scores = affine_scores(to_score, self.coefficients, self.constants)
+        with self._lock:
+            # Rows are copied out of the batch matrix so that evicting a row
+            # actually frees its memory (a view would pin the whole batch
+            # alive for as long as any sibling row stays cached).
+            for key, row in zip(missing, scores):
+                if key not in self._rows:
+                    self._rows[key] = row.copy()
+                self._rows.move_to_end(key)
+            while len(self._rows) > self.max_rows:
+                self._rows.popitem(last=False)
+                self.row_evictions += 1
+            self.n_batches += 1
+        if stats is not None:
+            stats.n_score_rows_computed += len(missing)
+            stats.n_score_batches += 1
+        return len(missing)
+
+    def _row(self, key: bytes, vertex: np.ndarray) -> np.ndarray:
+        """Cached score row, recomputed on the spot if it was evicted.
+
+        The single-row recompute is bit-identical to the batched row (the
+        kernel is shape-independent), so eviction can never change results.
+        """
+        row = self._rows.get(key)
+        if row is None:
+            row = affine_scores(vertex[None, :], self.coefficients, self.constants)[0]
+        return row
+
+    def score_matrix(self, vertices: np.ndarray) -> np.ndarray:
+        """Full-width ``(m, n_options)`` score matrix assembled from the memo."""
+        vertices = np.atleast_2d(np.asarray(vertices, dtype=float))
+        self.ensure_rows(vertices)
+        with self._lock:
+            rows = [self._row(vertex_key(row), row) for row in vertices]
+        if not rows:
+            return np.empty((0, self.n_options))
+        return np.array(rows)
+
+    # ------------------------------------------------------------------ #
+    # profile assembly (order-row layer on top of the score rows)
+    # ------------------------------------------------------------------ #
+    def region_profiles(
+        self,
+        working: "WorkingSet",
+        vertices: np.ndarray,
+        frontier: Optional[Callable[[], List[tuple]]] = None,
+        stats: Optional["SolverStats"] = None,
+    ) -> RegionProfiles:
+        """Memo-backed replacement for :meth:`RegionProfiles.compute`.
+
+        ``frontier`` is a zero-argument callable returning
+        ``(vertices, working uid)`` pairs of the regions still pending on the
+        solver's stack (see :func:`pending_frontier`); it is only invoked on
+        a memo miss.  Score rows missing from the memo are computed together
+        with the union of unscored frontier vertices in one kernel call, and
+        missing top-k orderings are batched with the pending regions that
+        share this working set — so both kernel stages launch per split-tree
+        layer, not per region.  Orderings derive from the cached full-width
+        rows column-sliced to ``working.active``; everything is bit-identical
+        to a from-scratch computation.
+        """
+        vertices = np.atleast_2d(np.asarray(vertices, dtype=float))
+        frontier_entries: Optional[List[tuple]] = None
+
+        def entries() -> List[tuple]:
+            nonlocal frontier_entries
+            if frontier_entries is None:
+                frontier_entries = list(frontier()) if frontier is not None else []
+            return frontier_entries
+
+        def frontier_vertex_sets() -> Iterator[np.ndarray]:
+            for pending_vertices, _uid in entries():
+                yield pending_vertices
+
+        self.ensure_rows(vertices, frontier=frontier_vertex_sets(), stats=stats)
+        keys = [vertex_key(row) for row in vertices]
+        uid = working.uid
+        width = min(working.k, working.n_active)
+        ordered = np.empty((vertices.shape[0], width), dtype=working.active.dtype)
+        missing: List[int] = []
+        with self._lock:
+            for index, key in enumerate(keys):
+                cached = self._orders.get((uid, key))
+                if cached is None:
+                    missing.append(index)
+                else:
+                    self._orders.move_to_end((uid, key))
+                    ordered[index] = cached
+            self.order_hits += len(keys) - len(missing)
+            self.order_misses += len(missing)
+        if stats is not None:
+            stats.n_order_rows_reused += len(keys) - len(missing)
+        if missing:
+            # Batch the ordering of this region's fresh vertices with every
+            # unordered vertex of the pending regions that share this
+            # working set: their pops then hit, and the per-batch fixed cost
+            # of the top-k selection amortises over the whole tree layer.
+            batch_keys = [keys[i] for i in missing]
+            batch_vertices = [vertices[i] for i in missing]
+            seen = set(batch_keys)
+            # Materialise the frontier before taking the lock: it may
+            # enumerate polytope vertices, which must not serialise
+            # concurrent queries sharing this memo.
+            same_working = [
+                np.atleast_2d(np.asarray(pending_vertices, dtype=float))
+                for pending_vertices, pending_uid in entries()
+                if pending_uid == uid
+            ]
+            with self._lock:
+                for pending_vertices in same_working:
+                    for row in pending_vertices:
+                        key = vertex_key(row)
+                        if key in seen or (uid, key) in self._orders:
+                            continue
+                        seen.add(key)
+                        batch_keys.append(key)
+                        batch_vertices.append(row)
+            self.ensure_rows(np.array(batch_vertices))
+            with self._lock:
+                rows = [self._row(k, v) for k, v in zip(batch_keys, batch_vertices)]
+            scores = np.array(rows)
+            if working.n_active != self.n_options:
+                # Column-mask slice of the full-width rows: how Lemma-5
+                # option removals reuse the cached scores instead of
+                # rescoring.  Skipped while no option was removed (the
+                # active set is still the identity).
+                scores = scores[:, working.active]
+            fresh = topk_order_matrix(scores, working.active, working.k)
+            ordered[missing] = fresh[: len(missing)]
+            if stats is not None:
+                stats.n_order_rows_computed += len(batch_keys)
+            with self._lock:
+                for key, row in zip(batch_keys, fresh):
+                    self._orders[(uid, key)] = row
+                while len(self._orders) > self.max_orders:
+                    self._orders.popitem(last=False)
+                    self.order_evictions += 1
+        return RegionProfiles(vertices, ordered, working)
+
+    def lemma5_sliced_profiles(
+        self,
+        working: "WorkingSet",
+        vertices: np.ndarray,
+        parent: RegionProfiles,
+        lam: int,
+        stats: Optional["SolverStats"] = None,
+    ) -> RegionProfiles:
+        """Profiles after a Lemma-5 reduction, as a column slice of the parent's.
+
+        The removed options are exactly the shared top-λ prefix of every
+        vertex's ordering (``consistent_top_lambda`` guarantees ranks
+        ``1..λ`` at every vertex are the set φ), and removing options never
+        reorders the remaining ones, so dropping the first λ columns of the
+        parent's ordered matrix *is* the top-``(k-λ)`` ordering over the
+        reduced working set — no rescore, no re-sort, bit-identical to a
+        from-scratch computation.  The sliced rows are stored under the new
+        working set's uid so the region's children hit them directly.
+        """
+        vertices = np.atleast_2d(np.asarray(vertices, dtype=float))
+        ordered = parent.ordered[:, lam:]
+        keys = [vertex_key(row) for row in vertices]
+        uid = working.uid
+        with self._lock:
+            for key, row in zip(keys, ordered):
+                self._orders[(uid, key)] = np.ascontiguousarray(row)
+            while len(self._orders) > self.max_orders:
+                self._orders.popitem(last=False)
+                self.order_evictions += 1
+            self.order_hits += len(keys)
+        if stats is not None:
+            # Scores and orderings were both reused wholesale; count them so
+            # the hit rate reflects the avoided work.
+            stats.n_score_rows_reused += len(keys)
+            stats.n_order_rows_reused += len(keys)
+        return RegionProfiles(vertices, ordered, working)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def info(self) -> dict:
+        """Hit/miss/eviction counters and current sizes of both layers."""
+        with self._lock:
+            return {
+                "rows": {
+                    "hits": self.row_hits,
+                    "misses": self.row_misses,
+                    "evictions": self.row_evictions,
+                    "currsize": len(self._rows),
+                    "maxsize": self.max_rows,
+                },
+                "orders": {
+                    "hits": self.order_hits,
+                    "misses": self.order_misses,
+                    "evictions": self.order_evictions,
+                    "currsize": len(self._orders),
+                    "maxsize": self.max_orders,
+                },
+                "n_batches": self.n_batches,
+            }
+
+    def clear(self) -> None:
+        """Drop all cached rows and orderings (counters are kept)."""
+        with self._lock:
+            self._rows.clear()
+            self._orders.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"VertexScoreMemo(n_options={self.n_options}, rows={len(self._rows)}/"
+            f"{self.max_rows}, orders={len(self._orders)}/{self.max_orders}, "
+            f"batches={self.n_batches})"
+        )

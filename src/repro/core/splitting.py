@@ -90,22 +90,30 @@ def _k_switch_pair(
     Returns ``None`` when the candidate set ``LC`` is empty for both
     orientations of the vertex pair, in which case the caller falls back to
     the random strategy.
+
+    All candidate scores at both vertices come from one
+    :func:`~repro.core.profiles.affine_scores` call over ``second``'s top-k
+    set (plus ``p_z1``) instead of a per-candidate Python loop; ties in the
+    score gap are broken by ascending option index, as the legacy
+    ``(gap, candidate)`` tuple sort did.
     """
     for first, second in ((profile_a, profile_b), (profile_b, profile_a)):
         pz1 = first.kth
-        score_pz1_at_a = working.score_of(pz1, first.vertex)
-        score_pz1_at_b = working.score_of(pz1, second.vertex)
-        candidates = []
-        for candidate in second.top_set:
-            if candidate == pz1:
-                continue
-            score_at_a = working.score_of(candidate, first.vertex)
-            score_at_b = working.score_of(candidate, second.vertex)
-            if score_at_a < score_pz1_at_a and score_at_b > score_pz1_at_b:
-                candidates.append((abs(score_pz1_at_a - score_at_a), candidate))
-        if candidates:
-            candidates.sort()
-            return pz1, candidates[0][1]
+        pool = np.fromiter(sorted(second.top_set), dtype=int)
+        ids = np.concatenate(([pz1], pool))
+        vertices = np.vstack(
+            [np.asarray(first.vertex, dtype=float), np.asarray(second.vertex, dtype=float)]
+        )
+        scores = affine_scores(vertices, working.coefficients[ids], working.constants[ids])
+        pz1_at_a, pz1_at_b = scores[0, 0], scores[1, 0]
+        at_a, at_b = scores[0, 1:], scores[1, 1:]
+        mask = (pool != pz1) & (at_a < pz1_at_a) & (at_b > pz1_at_b)
+        if np.any(mask):
+            hits = np.flatnonzero(mask)
+            gaps = pz1_at_a - at_a[hits]
+            # argmin returns the first minimum; pool is sorted ascending, so
+            # equal gaps resolve to the smallest option index.
+            return pz1, int(pool[hits[int(np.argmin(gaps))]])
     return None
 
 
@@ -159,6 +167,26 @@ def _candidate_pool(profiles: ProfilesLike) -> List[int]:
     return sorted(set().union(*(profile.top_set for profile in profiles)))
 
 
+def _strict_swap_mask(
+    working: WorkingSet,
+    vertices: np.ndarray,
+    option_a: np.ndarray,
+    option_b: np.ndarray,
+    tol: Tolerance,
+) -> np.ndarray:
+    """Per-pair strict-swap verdicts for ``(option_a[i], option_b[i])`` pairs.
+
+    The exact difference values of all pairs at all vertices come from one
+    shape-independent :func:`~repro.core.profiles.affine_scores` call on the
+    difference form, so a batched verdict is bit-identical to the same pair
+    checked alone (each matrix element is computed independently).
+    """
+    diff_coeff = working.coefficients[option_a] - working.coefficients[option_b]
+    diff_const = working.constants[option_a] - working.constants[option_b]
+    values = affine_scores(vertices, diff_coeff, diff_const)
+    return np.any(values > tol.score, axis=0) & np.any(values < -tol.score, axis=0)
+
+
 def _has_strict_swap(
     working: WorkingSet,
     profiles: ProfilesLike,
@@ -174,10 +202,14 @@ def _has_strict_swap(
     interior, so splitting on it makes real progress.  Pairs without a strict
     swap only tie on the region boundary and cannot cut the interior.
     """
-    diff_coeff = working.coefficients[option_a] - working.coefficients[option_b]
-    diff_const = working.constants[option_a] - working.constants[option_b]
-    values = _profile_vertices(profiles) @ diff_coeff + diff_const
-    return bool(np.any(values > tol.score) and np.any(values < -tol.score))
+    mask = _strict_swap_mask(
+        working,
+        _profile_vertices(profiles),
+        np.array([option_a]),
+        np.array([option_b]),
+        tol,
+    )
+    return bool(mask[0])
 
 
 def find_swap_candidates(
@@ -222,21 +254,32 @@ def find_swap_candidates(
     for row in scores:
         np.logical_or(beats, row[:, None] - row[None, :] > tol.score - slack, out=beats)
     swap = np.triu(beats & beats.T, k=1)
+    # Exact confirms, batched: the (n_vertices, n_pairs) exact difference
+    # values of all screened pairs come from chunked affine_scores calls on
+    # the difference form instead of one `_has_strict_swap` per pair (which
+    # rebuilt the vertex product every call).  Chunking keeps the
+    # max_candidates early exit cheap — `region_is_rank_invariant` asks for
+    # a single candidate and should not pay for the full pair set.
+    pairs = np.argwhere(swap)  # row-major: ascending (i, j), the legacy scan order
     decisions: List[SplitDecision] = []
-    for i, j in np.argwhere(swap):
-        option_a, option_b = int(pool_arr[i]), int(pool_arr[j])
-        if not _has_strict_swap(working, profiles, option_a, option_b, tol):
-            continue
-        decisions.append(
-            SplitDecision(
-                option_a=option_a,
-                option_b=option_b,
-                hyperplane=_scoring_hyperplane(working, option_a, option_b),
-                case="swap",
+    chunk = 256 if max_candidates > 1 else 32
+    for start in range(0, pairs.shape[0], chunk):
+        block = pairs[start : start + chunk]
+        a_ids = pool_arr[block[:, 0]]
+        b_ids = pool_arr[block[:, 1]]
+        confirmed = _strict_swap_mask(working, vertices, a_ids, b_ids, tol)
+        for index in np.flatnonzero(confirmed):
+            option_a, option_b = int(a_ids[index]), int(b_ids[index])
+            decisions.append(
+                SplitDecision(
+                    option_a=option_a,
+                    option_b=option_b,
+                    hyperplane=_scoring_hyperplane(working, option_a, option_b),
+                    case="swap",
+                )
             )
-        )
-        if len(decisions) >= max_candidates:
-            break
+            if len(decisions) >= max_candidates:
+                return decisions
     return decisions
 
 

@@ -43,6 +43,22 @@ class SolverStats:
         Number of recursive calls in which Lemma 5 removed at least one option.
     n_vertices:
         Final size of ``V_all``.
+    n_score_rows_computed:
+        Vertex score rows freshly computed by the kernel (incremental path
+        only; includes rows pre-scored for pending frontier regions).
+    n_score_rows_reused:
+        Vertex score rows served from the split-tree memo when a popped
+        region requested them (rows inherited from the parent, shared with a
+        sibling, or pre-scored in an earlier frontier batch).
+    n_score_batches:
+        Kernel launches performed by the incremental path; with frontier
+        batching this scales with the depth of the split tree rather than
+        with the number of regions.
+    n_order_rows_computed:
+        Per-vertex top-k orderings computed from (cached) score rows.
+    n_order_rows_reused:
+        Per-vertex top-k orderings served from the memo (same vertex under
+        the same working set, typically inherited from the parent region).
     seconds:
         Wall-clock time of the solve (filtering included unless noted).
     extra:
@@ -60,8 +76,22 @@ class SolverStats:
     n_fallback_splits: int = 0
     n_lemma5_reductions: int = 0
     n_vertices: int = 0
+    n_score_rows_computed: int = 0
+    n_score_rows_reused: int = 0
+    n_score_batches: int = 0
+    n_order_rows_computed: int = 0
+    n_order_rows_reused: int = 0
     seconds: float = 0.0
     extra: dict = field(default_factory=dict)
+
+    @property
+    def vertex_cache_hit_rate(self) -> float:
+        """Fraction of vertex-score row requests served from the memo.
+
+        ``0.0`` when the incremental path was disabled (no rows requested).
+        """
+        total = self.n_score_rows_computed + self.n_score_rows_reused
+        return self.n_score_rows_reused / total if total else 0.0
 
     def as_dict(self) -> dict:
         """Plain-dict view used by the experiment reports."""
@@ -77,6 +107,12 @@ class SolverStats:
             "n_fallback_splits": self.n_fallback_splits,
             "n_lemma5_reductions": self.n_lemma5_reductions,
             "n_vertices": self.n_vertices,
+            "n_score_rows_computed": self.n_score_rows_computed,
+            "n_score_rows_reused": self.n_score_rows_reused,
+            "n_score_batches": self.n_score_batches,
+            "n_order_rows_computed": self.n_order_rows_computed,
+            "n_order_rows_reused": self.n_order_rows_reused,
+            "vertex_cache_hit_rate": self.vertex_cache_hit_rate,
             "seconds": self.seconds,
         }
         data.update(self.extra)

@@ -32,6 +32,7 @@ class TASSolver(BaseTestAndSplit):
         rng: RngLike = 0,
         max_regions: int = 500_000,
         tol: Tolerance = DEFAULT_TOL,
+        incremental: bool = True,
     ):
         super().__init__(
             use_lemma5=False,
@@ -40,4 +41,5 @@ class TASSolver(BaseTestAndSplit):
             rng=rng,
             max_regions=max_regions,
             tol=tol,
+            incremental=incremental,
         )

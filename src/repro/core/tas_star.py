@@ -51,6 +51,7 @@ class TASStarSolver(BaseTestAndSplit):
         rng: RngLike = 0,
         max_regions: int = 500_000,
         tol: Tolerance = DEFAULT_TOL,
+        incremental: bool = True,
     ):
         super().__init__(
             use_lemma5=use_lemma5,
@@ -59,6 +60,7 @@ class TASStarSolver(BaseTestAndSplit):
             rng=rng,
             max_regions=max_regions,
             tol=tol,
+            incremental=incremental,
         )
         self.use_k_switch = bool(use_k_switch)
 

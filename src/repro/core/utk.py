@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.kipr import WorkingSet, vertex_profile
 from repro.core.profiles import RegionProfiles
+from repro.core.scorecache import VertexScoreMemo, pending_frontier
 from repro.core.splitting import split_region
 from repro.core.stats import SolverStats
 from repro.data.dataset import Dataset
@@ -70,10 +71,12 @@ class UTKPartitioner:
         rng: RngLike = 0,
         max_regions: int = 500_000,
         tol: Tolerance = DEFAULT_TOL,
+        incremental: bool = True,
     ):
         self._rng = ensure_rng(rng)
         self.max_regions = int(max_regions)
         self.tol = tol
+        self.incremental = bool(incremental)
 
     # ------------------------------------------------------------------ #
     def _anchor_hyperplane(
@@ -127,17 +130,22 @@ class UTKPartitioner:
         region: PreferenceRegion,
         stats: Optional[SolverStats] = None,
         working: Optional[WorkingSet] = None,
+        score_memo: Optional[VertexScoreMemo] = None,
     ) -> List[UTKCell]:
         """Partition ``region`` into kIPR cells, each annotated with its top-k set.
 
         ``working`` optionally supplies a prebuilt root working set (sliced
-        from a cached affine score form by the query engine).
+        from a cached affine score form by the query engine), ``score_memo``
+        a vertex-score memo bound to the same affine form.  UTK never prunes
+        options, so the memo pays off even more than for TAS/TAS*: every
+        region of the (large) anchor-driven partition shares one column set.
         """
         if k <= 0:
             raise InvalidParameterError(f"k must be positive, got {k}")
         stats = stats if stats is not None else SolverStats()
         working = working if working is not None else WorkingSet.from_dataset(filtered, k)
         stats.k_effective = working.k
+        memo = VertexScoreMemo.resolve(working, score_memo, self.incremental)
 
         cells: List[UTKCell] = []
         stack: List[PreferenceRegion] = [region]
@@ -156,7 +164,17 @@ class UTKPartitioner:
             if vertices.shape[0] == 0:
                 continue
 
-            profiles = RegionProfiles.compute(working, vertices)
+            if memo is None:
+                profiles = RegionProfiles.compute(working, vertices)
+            else:
+                profiles = memo.region_profiles(
+                    working,
+                    vertices,
+                    frontier=lambda: pending_frontier(
+                        (pending, working) for pending in reversed(stack)
+                    ),
+                    stats=stats,
+                )
             violation = profiles.kipr_violation()
             if violation is None:
                 stats.n_kipr_regions += 1

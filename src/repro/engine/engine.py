@@ -30,8 +30,11 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.base_solver import BaseTestAndSplit
 from repro.core.kipr import WorkingSet
 from repro.core.impact import build_impact_region
+from repro.core.pac import PACSolver
+from repro.core.scorecache import VertexScoreMemo
 from repro.core.stats import SolverStats
 from repro.core.toprr import SolverLike, TopRRResult, make_solver
 from repro.data.dataset import Dataset
@@ -129,6 +132,8 @@ class TopRREngine:
         self._affine: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._skyband_cache = LRUCache(skyband_cache_size)
         self._result_cache = LRUCache(result_cache_size)
+        self._full_memo: Optional[VertexScoreMemo] = None
+        self._nofilter_workings: dict = {}
         self._counter_lock = threading.Lock()
         self.n_queries = 0
 
@@ -157,28 +162,38 @@ class TopRREngine:
 
     def prefiltered(
         self, k: int, region: PreferenceRegion
-    ) -> Tuple[Dataset, WorkingSet, bool]:
-        """``(D', root working set, cache_hit)`` for one ``(k, region)`` pair.
+    ) -> Tuple[Dataset, WorkingSet, VertexScoreMemo, bool]:
+        """``(D', root working set, score memo, cache_hit)`` for one ``(k, region)`` pair.
 
         ``D'`` is the r-skyband subset (or the dataset itself when the engine
         was built with ``prefilter=False``); the working set is sliced from
         the bound affine form, so no per-query score-form computation occurs.
+        The vertex-score memo lives alongside the cached r-skyband entry, so
+        repeated queries against the same ``(k, region)`` reuse each other's
+        split-tree vertex scores even when the full result was not cached.
         """
         coefficients, constants = self.affine_form()
         if not self.prefilter:
-            working = WorkingSet.from_affine_form(coefficients, constants, k)
-            return self.dataset, working, False
+            with self._counter_lock:
+                working = self._nofilter_workings.get(int(k))
+                if working is None:
+                    working = WorkingSet.from_affine_form(coefficients, constants, k)
+                    self._nofilter_workings[int(k)] = working
+                if self._full_memo is None:
+                    self._full_memo = VertexScoreMemo(coefficients, constants)
+            return self.dataset, working, self._full_memo, False
 
         key = (int(k), region_fingerprint(region))
         cached = self._skyband_cache.get(key)
         if cached is not MISSING:
-            return cached[0], cached[1], True
+            return cached[0], cached[1], cached[2], True
 
         kept = r_skyband(self.dataset, k, region, tol=self.tol)
         filtered = self.dataset.subset(kept, name=f"{self.dataset.name}[r-skyband]")
         working = WorkingSet.from_affine_form(coefficients[kept], constants[kept], k)
-        self._skyband_cache.put(key, (filtered, working))
-        return filtered, working, False
+        memo = VertexScoreMemo.for_working(working)
+        self._skyband_cache.put(key, (filtered, working, memo))
+        return filtered, working, memo, False
 
     # ------------------------------------------------------------------ #
     # queries
@@ -213,10 +228,15 @@ class TopRREngine:
         stats.n_input_options = self.dataset.n_options
 
         timer = Timer().start()
-        filtered, working, skyband_hit = self.prefiltered(k, region)
+        filtered, working, memo, skyband_hit = self.prefiltered(k, region)
         stats.n_filtered_options = filtered.n_options
 
-        vall = solver.partition(filtered, k, region, stats=stats, working=working)
+        if isinstance(solver, (BaseTestAndSplit, PACSolver)):
+            vall = solver.partition(
+                filtered, k, region, stats=stats, working=working, score_memo=memo
+            )
+        else:
+            vall = solver.partition(filtered, k, region, stats=stats, working=working)
         polytope, full_weights, thresholds = build_impact_region(
             filtered,
             vall,
@@ -322,7 +342,7 @@ class TopRREngine:
         for k in ks:
             for region in regions:
                 self._validate(k, region)
-                _filtered, _working, hit = self.prefiltered(k, region)
+                _filtered, _working, _memo, hit = self.prefiltered(k, region)
                 if not hit:
                     computed += 1
         return computed
@@ -339,9 +359,15 @@ class TopRREngine:
         }
 
     def clear_caches(self) -> None:
-        """Drop every cached intermediate (the bound affine form is kept)."""
+        """Drop every cached intermediate (the bound affine form is kept).
+
+        This includes the vertex-score memos attached to the r-skyband
+        entries and the full-dataset memo of the ``prefilter=False`` path.
+        """
         self._skyband_cache.clear()
         self._result_cache.clear()
+        self._full_memo = None
+        self._nofilter_workings.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -1,0 +1,346 @@
+"""Tests for the incremental split-tree scoring path.
+
+Three layers:
+
+* a **parity suite** asserting that the memo-backed path
+  (``incremental=True``, the default) produces bit-identical ``V_all``,
+  identical :class:`~repro.core.stats.SolverStats` (modulo the cache
+  counters only the incremental path populates), and identical
+  accepted-region counts versus the from-scratch path, across seeds, ``k``
+  values, both splitting strategies and all three solvers;
+* **unit tests** of :class:`~repro.core.scorecache.VertexScoreMemo`:
+  fingerprinting, hit/miss/eviction accounting, frontier batching, Lemma-5
+  column slicing, and bit-identity of memo-assembled profiles;
+* **kernel tie tests** pinning the reworked
+  :func:`~repro.core.profiles.topk_order_matrix` (per-row boundary-tie
+  resolution) to the batched-lexsort reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kipr import WorkingSet
+from repro.core.pac import PACSolver
+from repro.core.profiles import RegionProfiles, affine_scores, topk_order_matrix
+from repro.core.scorecache import VertexScoreMemo, pending_frontier, vertex_key
+from repro.core.stats import SolverStats
+from repro.core.tas import TASSolver
+from repro.core.tas_star import TASStarSolver
+from repro.data.generators import generate_anticorrelated, generate_independent
+from repro.engine import TopRREngine
+from repro.preference.random_regions import random_hypercube_region
+from repro.pruning.rskyband import r_skyband
+
+#: Stats fields only the incremental path populates (excluded from parity).
+CACHE_FIELDS = {
+    "n_score_rows_computed",
+    "n_score_rows_reused",
+    "n_score_batches",
+    "n_order_rows_computed",
+    "n_order_rows_reused",
+    "vertex_cache_hit_rate",
+    "seconds",
+}
+
+
+def _solve(solver_cls, filtered, k, region, incremental, **kwargs):
+    solver = solver_cls(rng=5, incremental=incremental, **kwargs)
+    stats = SolverStats()
+    vall = solver.partition(filtered, k, region, stats=stats)
+    return vall, stats
+
+
+def _comparable(stats: SolverStats) -> dict:
+    return {key: value for key, value in stats.as_dict().items() if key not in CACHE_FIELDS}
+
+
+class TestSplitTreeParity:
+    """Incremental and from-scratch solves must be bit-identical."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [2, 6])
+    @pytest.mark.parametrize("solver_cls", [TASStarSolver, TASSolver])
+    def test_tas_variants(self, solver_cls, k, seed):
+        dataset = generate_anticorrelated(900, 3, rng=seed)
+        region = random_hypercube_region(3, 0.15, rng=seed + 50)
+        filtered = dataset.subset(r_skyband(dataset, k, region))
+        vall_scratch, stats_scratch = _solve(solver_cls, filtered, k, region, False)
+        vall_inc, stats_inc = _solve(solver_cls, filtered, k, region, True)
+        assert np.array_equal(vall_scratch, vall_inc)
+        assert _comparable(stats_scratch) == _comparable(stats_inc)
+        # The accepted-region sets are pinned through the counters: same
+        # number popped, split, and accepted by each test.
+        assert stats_scratch.n_kipr_regions == stats_inc.n_kipr_regions
+        assert stats_scratch.n_lemma7_regions == stats_inc.n_lemma7_regions
+        assert stats_inc.n_score_rows_reused > 0
+
+    @pytest.mark.parametrize("use_lemma5,use_lemma7", [(True, False), (False, True)])
+    def test_tas_star_ablations(self, use_lemma5, use_lemma7):
+        dataset = generate_independent(800, 3, rng=9)
+        region = random_hypercube_region(3, 0.12, rng=59)
+        filtered = dataset.subset(r_skyband(dataset, 5, region))
+        kwargs = {"use_lemma5": use_lemma5, "use_lemma7": use_lemma7}
+        vall_scratch, stats_scratch = _solve(TASStarSolver, filtered, 5, region, False, **kwargs)
+        vall_inc, stats_inc = _solve(TASStarSolver, filtered, 5, region, True, **kwargs)
+        assert np.array_equal(vall_scratch, vall_inc)
+        assert _comparable(stats_scratch) == _comparable(stats_inc)
+
+    def test_pac(self):
+        dataset = generate_anticorrelated(700, 3, rng=4)
+        region = random_hypercube_region(3, 0.1, rng=44)
+        filtered = dataset.subset(r_skyband(dataset, 4, region))
+        vall_scratch, stats_scratch = _solve(PACSolver, filtered, 4, region, False)
+        vall_inc, stats_inc = _solve(PACSolver, filtered, 4, region, True)
+        assert np.array_equal(vall_scratch, vall_inc)
+        assert _comparable(stats_scratch) == _comparable(stats_inc)
+
+    def test_engine_routes_memo_and_matches(self):
+        """Engine queries (memo shared per skyband entry) equal fresh solves."""
+        dataset = generate_independent(1_200, 3, rng=21)
+        regions = [random_hypercube_region(3, 0.08, rng=70 + i) for i in range(3)]
+        engine = TopRREngine(dataset, rng=5, result_cache_size=0)
+        for k, region in [(3, regions[0]), (5, regions[1]), (5, regions[2]), (5, regions[1])]:
+            served = engine.query(k, region)
+            filtered = dataset.subset(r_skyband(dataset, k, region))
+            vall_scratch, _ = _solve(TASStarSolver, filtered, k, region, False)
+            assert np.array_equal(served.vertices_reduced, vall_scratch)
+        # The repeated (5, regions[1]) query reused the first solve's rows.
+        repeat = engine.query(5, regions[1])
+        assert repeat.stats.vertex_cache_hit_rate > 0.9
+
+
+class TestVertexScoreMemo:
+    def _working(self, n=200, d=3, k=5, seed=3):
+        dataset = generate_independent(n, d, rng=seed)
+        return WorkingSet.from_dataset(dataset, k)
+
+    def test_vertex_key_exact_and_zero_normalised(self):
+        assert vertex_key(np.array([0.25, 0.5])) == vertex_key(np.array([0.25, 0.5]))
+        assert vertex_key(np.array([0.25, 0.5])) != vertex_key(np.array([0.25, 0.5 + 1e-16]))
+        assert vertex_key(np.array([-0.0, 0.5])) == vertex_key(np.array([0.0, 0.5]))
+
+    def test_score_matrix_matches_kernel_and_counts_hits(self):
+        working = self._working()
+        memo = VertexScoreMemo.for_working(working)
+        vertices = np.random.default_rng(0).random((4, 2)) / 2
+        expected = affine_scores(vertices, working.coefficients, working.constants)
+        assert np.array_equal(memo.score_matrix(vertices), expected)
+        info = memo.info()
+        assert info["rows"] == {
+            "hits": 0, "misses": 4, "evictions": 0, "currsize": 4,
+            "maxsize": memo.max_rows,
+        }
+        # Second request: all hits, one of them via a freshly built array.
+        assert np.array_equal(memo.score_matrix(vertices.copy()), expected)
+        assert memo.info()["rows"]["hits"] == 4
+        assert memo.info()["n_batches"] == 1
+
+    def test_eviction_is_lru_and_lossless(self):
+        working = self._working()
+        memo = VertexScoreMemo.for_working(working, max_rows=2)
+        rng = np.random.default_rng(1)
+        vertices = rng.random((5, 2)) / 2
+        expected = affine_scores(vertices, working.coefficients, working.constants)
+        for i in range(5):
+            memo.score_matrix(vertices[i])
+        info = memo.info()
+        assert info["rows"]["currsize"] == 2
+        assert info["rows"]["evictions"] == 3
+        # Evicted rows are recomputed bit-identically on demand.
+        assert np.array_equal(memo.score_matrix(vertices), expected)
+
+    def test_region_profiles_bit_identical(self):
+        working = self._working(n=300, k=6)
+        memo = VertexScoreMemo.for_working(working)
+        vertices = np.random.default_rng(2).random((5, 2)) / 2
+        reference = RegionProfiles.compute(working, vertices)
+        via_memo = memo.region_profiles(working, vertices)
+        assert np.array_equal(via_memo.ordered, reference.ordered)
+        assert np.array_equal(via_memo.sorted_sets, reference.sorted_sets)
+        # Warm pass: orderings come from the cache, still identical.
+        warm = memo.region_profiles(working, vertices)
+        assert np.array_equal(warm.ordered, reference.ordered)
+        assert memo.info()["orders"]["hits"] == 5
+
+    def test_lemma5_column_slicing_matches_rescore(self):
+        """Reduced working sets reuse full-width rows via the column mask."""
+        working = self._working(n=250, k=6)
+        memo = VertexScoreMemo.for_working(working)
+        vertices = np.random.default_rng(3).random((4, 2)) / 2
+        base = memo.region_profiles(working, vertices)
+        removed = [int(i) for i in base.ordered[0, :2]]
+        reduced = working.without_options(removed, working.k - 2)
+        reference = RegionProfiles.compute(reduced, vertices)
+        via_memo = memo.region_profiles(reduced, vertices)
+        assert np.array_equal(via_memo.ordered, reference.ordered)
+        # No new score rows were needed: the reduction is a column slice.
+        assert memo.info()["rows"]["misses"] == 4
+
+    def test_lemma5_sliced_profiles_equal_recompute(self):
+        working = self._working(n=220, k=5)
+        memo = VertexScoreMemo.for_working(working)
+        vertices = np.random.default_rng(4).random((4, 2)) / 2
+        parent = memo.region_profiles(working, vertices)
+        lam, phi = parent.consistent_top_lambda(working.k)
+        if lam == 0:
+            # Force a shared prefix by restricting to one vertex's top set.
+            lam, phi = 1, frozenset({int(parent.ordered[0, 0])})
+            vertices = vertices[:1]
+            parent = memo.region_profiles(working, vertices)
+        reduced = working.without_options(phi, working.k - lam)
+        sliced = memo.lemma5_sliced_profiles(reduced, vertices, parent, lam)
+        reference = RegionProfiles.compute(reduced, vertices)
+        assert np.array_equal(sliced.ordered, reference.ordered)
+        # Children popping the same vertices under the reduced set now hit.
+        again = memo.region_profiles(reduced, vertices)
+        assert np.array_equal(again.ordered, reference.ordered)
+
+    def test_frontier_batching_prescores_pending_regions(self):
+        working = self._working(n=300, k=5)
+        memo = VertexScoreMemo.for_working(working)
+        rng = np.random.default_rng(5)
+        current = rng.random((3, 2)) / 2
+        pending = rng.random((4, 2)) / 2
+
+        class _Region:
+            def __init__(self, vertices):
+                self.vertices = vertices
+
+        frontier = lambda: pending_frontier([(_Region(pending), working)])
+        via_memo = memo.region_profiles(working, current, frontier=frontier)
+        assert np.array_equal(
+            via_memo.ordered, RegionProfiles.compute(working, current).ordered
+        )
+        # One kernel launch covered current + pending rows...
+        assert memo.info()["n_batches"] == 1
+        assert memo.info()["rows"]["currsize"] == 7
+        # ...so the pending region is served without another launch.
+        later = memo.region_profiles(working, pending)
+        assert np.array_equal(
+            later.ordered, RegionProfiles.compute(working, pending).ordered
+        )
+        assert memo.info()["n_batches"] == 1
+
+    def test_mismatched_memo_is_rejected(self):
+        dataset = generate_independent(120, 3, rng=8)
+        other = VertexScoreMemo.for_working(self._working(n=50))
+        region = random_hypercube_region(3, 0.2, rng=80)
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            TASStarSolver().partition(dataset, 3, region, score_memo=other)
+
+
+class TestTopKOrderTies:
+    """The reworked top-k selection must match the batched-lexsort reference."""
+
+    @staticmethod
+    def _reference(scores, ids, k):
+        keys = np.broadcast_to(ids, scores.shape)
+        order = np.lexsort((keys, -scores), axis=-1)[:, : min(k, scores.shape[1])]
+        return ids[order]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_heavy_ties_random(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(80, 400))
+        rows = int(rng.integers(1, 9))
+        k = int(rng.integers(1, 12))
+        # Quantised scores: many exact ties, frequently straddling the
+        # k-boundary (the case the PR-1 kernel punted to a full sort).
+        scores = rng.integers(0, 6, size=(rows, n)).astype(float)
+        ids = np.arange(n)
+        assert np.array_equal(topk_order_matrix(scores, ids, k), self._reference(scores, ids, k))
+
+    def test_mixed_clean_and_straddling_rows(self):
+        ids = np.arange(200)
+        clean = np.linspace(1.0, 0.0, 200)[None, :]
+        tied = np.zeros((1, 200))
+        tied[0, ::3] = 1.0  # tie plateau across the boundary
+        scores = np.vstack([clean, tied, clean[:, ::-1]])
+        for k in (1, 3, 7):
+            assert np.array_equal(
+                topk_order_matrix(scores, ids, k), self._reference(scores, ids, k)
+            )
+
+    def test_subset_of_ids(self):
+        """Global ids (active subsets) are respected in the tie-break."""
+        rng = np.random.default_rng(7)
+        ids = np.sort(rng.choice(1_000, size=150, replace=False))
+        scores = rng.integers(0, 4, size=(4, 150)).astype(float)
+        assert np.array_equal(topk_order_matrix(scores, ids, 5), self._reference(scores, ids, 5))
+
+
+class TestSplittingBatches:
+    """The vectorized k-switch selection and batched swap confirms."""
+
+    def _instance(self, seed=0, n=300, k=6):
+        dataset = generate_anticorrelated(n, 3, rng=seed)
+        region = random_hypercube_region(3, 0.2, rng=seed + 30)
+        working = WorkingSet.from_dataset(dataset, k)
+        profiles = RegionProfiles.compute(working, region.vertices)
+        return working, profiles
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_k_switch_pair_matches_definition(self, seed):
+        """The batched selection equals the per-candidate scan of Definition 4."""
+        from repro.core.splitting import _k_switch_pair
+
+        working, profiles = self._instance(seed=seed)
+        violation = profiles.kipr_violation()
+        if violation is None:
+            pytest.skip("region is a kIPR for this seed")
+        profile_a, profile_b = profiles[violation[0]], profiles[violation[1]]
+
+        def reference(first, second):
+            pz1 = first.kth
+            s1a = float(affine_scores(first.vertex, working.coefficients[[pz1]], working.constants[[pz1]])[0, 0])
+            s1b = float(affine_scores(second.vertex, working.coefficients[[pz1]], working.constants[[pz1]])[0, 0])
+            candidates = []
+            for candidate in second.top_set:
+                if candidate == pz1:
+                    continue
+                sa = float(affine_scores(first.vertex, working.coefficients[[candidate]], working.constants[[candidate]])[0, 0])
+                sb = float(affine_scores(second.vertex, working.coefficients[[candidate]], working.constants[[candidate]])[0, 0])
+                if sa < s1a and sb > s1b:
+                    candidates.append((abs(s1a - sa), candidate))
+            if candidates:
+                candidates.sort()
+                return pz1, candidates[0][1]
+            return None
+
+        expected = reference(profile_a, profile_b) or reference(profile_b, profile_a)
+        assert _k_switch_pair(working, profile_a, profile_b) == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_swap_candidates_match_per_pair_confirms(self, seed):
+        """Batched exact confirms emit the same decisions as the per-pair scan."""
+        from repro.core.splitting import _has_strict_swap, find_swap_candidates
+        from repro.utils.tolerance import DEFAULT_TOL
+
+        working, profiles = self._instance(seed=seed, n=250, k=5)
+        decisions = find_swap_candidates(working, profiles, DEFAULT_TOL)
+        pool = profiles.candidate_pool()
+        expected = [
+            (int(a), int(b))
+            for i, a in enumerate(pool)
+            for b in pool[i + 1 :]
+            if _has_strict_swap(working, profiles, int(a), int(b), DEFAULT_TOL)
+        ]
+        assert [(d.option_a, d.option_b) for d in decisions] == expected
+        # max_candidates truncates without changing the prefix.
+        head = find_swap_candidates(working, profiles, DEFAULT_TOL, max_candidates=1)
+        assert [(d.option_a, d.option_b) for d in head] == expected[:1]
+
+
+class TestStatsFields:
+    def test_hit_rate_property_and_dict(self):
+        stats = SolverStats()
+        assert stats.vertex_cache_hit_rate == 0.0
+        stats.n_score_rows_computed = 25
+        stats.n_score_rows_reused = 75
+        assert stats.vertex_cache_hit_rate == 0.75
+        data = stats.as_dict()
+        for field in CACHE_FIELDS - {"seconds"}:
+            assert field in data
+        assert data["vertex_cache_hit_rate"] == 0.75
