@@ -67,6 +67,38 @@ def main() -> None:
     print(f"  engine session: {info['n_queries']} queries, "
           f"{info['results']['hits']} served from cache")
 
+    # 8. How the caches are keyed: by (k, region *fingerprint*) — the
+    #    region's rounded, sorted vertices — so a *different object*
+    #    describing the same region hits the same entries.  Both caches are
+    #    bounded LRUs; the least recently used entry is evicted when full.
+    same_clientele = PreferenceRegion.hyperrectangle(
+        [(0.30, 0.36), (0.22, 0.28), (0.18, 0.24)]
+    )
+    assert engine.query(10, same_clientele) is engine.query(10, clientele)
+    print("  cache keys are region fingerprints, not object identities")
+
+    # 9. Anticipating a query mix?  `warm` precomputes the r-skyband
+    #    pre-filter (the expensive per-(k, region) intermediate) up front,
+    #    and `query_batch` answers many queries in one call — serially by
+    #    default, or fanned out with executor="thread" / "process".
+    wider = PreferenceRegion.hyperrectangle(
+        [(0.28, 0.38), (0.20, 0.30), (0.16, 0.26)]
+    )
+    computed = engine.warm(ks=[5, 10], regions=[clientele, wider])
+    batch = engine.query_batch([(10, clientele), (5, wider), (10, wider)])
+    print(f"  warmed {computed} new (k, region) pre-filters; "
+          f"batch of {len(batch)} queries answered")
+
+    # 10. Everything above ran the solver on the exact 2-D polygon geometry
+    #    backend whenever the preference space is two-dimensional (d = 3
+    #    attributes); this 4-attribute market uses the general LP/qhull
+    #    path.  The per-solve geometry bill is visible in the stats (use the
+    #    last batch entry: it is the one freshly solved in the batch, the
+    #    first is a result-cache hit carrying its original solve's stats):
+    stats = batch[-1].stats
+    print(f"  geometry calls of the last solve: {stats.n_lp_calls} LP, "
+          f"{stats.n_qhull_calls} qhull, {stats.n_clip_calls} polygon clips")
+
 
 if __name__ == "__main__":
     main()

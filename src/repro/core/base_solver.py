@@ -38,6 +38,7 @@ from repro.core.splitting import split_region
 from repro.core.stats import SolverStats
 from repro.data.dataset import Dataset
 from repro.exceptions import DegeneratePolytopeError, EmptyRegionError, InvalidParameterError
+from repro.geometry.counters import geometry_counters
 from repro.geometry.polytope import merge_vertex_sets
 from repro.preference.region import PreferenceRegion
 from repro.utils.rng import RngLike, ensure_rng
@@ -130,6 +131,7 @@ class BaseTestAndSplit:
         accepted_vertex_sets: List[np.ndarray] = []
         stack: List[Tuple[PreferenceRegion, WorkingSet]] = [(region, root_working)]
         first_region = True
+        geometry_before = geometry_counters.snapshot()
 
         while stack:
             if stats.n_regions_tested >= self.max_regions:
@@ -216,6 +218,10 @@ class BaseTestAndSplit:
 
         vall = merge_vertex_sets(accepted_vertex_sets, tol=self.tol)
         stats.n_vertices = int(vall.shape[0])
+        lp_calls, qhull_calls, clip_calls = geometry_counters.delta(geometry_before)
+        stats.n_lp_calls += lp_calls
+        stats.n_qhull_calls += qhull_calls
+        stats.n_clip_calls += clip_calls
         return vall
 
     @staticmethod

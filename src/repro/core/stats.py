@@ -59,6 +59,16 @@ class SolverStats:
     n_order_rows_reused:
         Per-vertex top-k orderings served from the memo (same vertex under
         the same working set, typically inherited from the parent region).
+    n_lp_calls:
+        ``scipy.optimize.linprog`` round trips performed by the geometry
+        layer during the solve (Chebyshev centres / feasibility tests).
+        Zero when the exact 2-D polygon backend answers every region.
+    n_qhull_calls:
+        qhull halfspace intersections performed during the solve (vertex
+        enumeration on the generic path).  Zero under the polygon backend.
+    n_clip_calls:
+        Closed-form polygon clipping passes performed during the solve (one
+        per halfspace clip or hyperplane cut on the polygon backend).
     seconds:
         Wall-clock time of the solve (filtering included unless noted).
     extra:
@@ -81,6 +91,9 @@ class SolverStats:
     n_score_batches: int = 0
     n_order_rows_computed: int = 0
     n_order_rows_reused: int = 0
+    n_lp_calls: int = 0
+    n_qhull_calls: int = 0
+    n_clip_calls: int = 0
     seconds: float = 0.0
     extra: dict = field(default_factory=dict)
 
@@ -112,6 +125,9 @@ class SolverStats:
             "n_score_batches": self.n_score_batches,
             "n_order_rows_computed": self.n_order_rows_computed,
             "n_order_rows_reused": self.n_order_rows_reused,
+            "n_lp_calls": self.n_lp_calls,
+            "n_qhull_calls": self.n_qhull_calls,
+            "n_clip_calls": self.n_clip_calls,
             "vertex_cache_hit_rate": self.vertex_cache_hit_rate,
             "seconds": self.seconds,
         }

@@ -36,6 +36,7 @@ from repro.core.splitting import split_region
 from repro.core.stats import SolverStats
 from repro.data.dataset import Dataset
 from repro.exceptions import DegeneratePolytopeError, EmptyRegionError, InvalidParameterError
+from repro.geometry.counters import geometry_counters
 from repro.geometry.hyperplane import Hyperplane
 from repro.preference.region import PreferenceRegion
 from repro.utils.rng import RngLike, ensure_rng
@@ -149,6 +150,7 @@ class UTKPartitioner:
 
         cells: List[UTKCell] = []
         stack: List[PreferenceRegion] = [region]
+        geometry_before = geometry_counters.snapshot()
 
         while stack:
             if stats.n_regions_tested >= self.max_regions:
@@ -212,6 +214,10 @@ class UTKPartitioner:
                     continue
                 stack.append(child)
 
+        lp_calls, qhull_calls, clip_calls = geometry_counters.delta(geometry_before)
+        stats.n_lp_calls += lp_calls
+        stats.n_qhull_calls += qhull_calls
+        stats.n_clip_calls += clip_calls
         stats.extra["n_cells"] = len(cells)
         return cells
 

@@ -17,9 +17,26 @@ and complete answers are kept in bounded LRU caches keyed by
 engine (serially, via threads, or via worker processes), and ``warm``
 precomputes the filter for an anticipated query mix.
 
+**Cache-key semantics.**  A region is keyed by its *fingerprint*
+(:func:`~repro.engine.fingerprint.region_fingerprint`): the defining
+vertices, rounded to 10 decimals and lexicographically sorted.  Two region
+objects describing the same polytope therefore share cache entries even
+when their halfspace representations differ (redundant constraints, row
+order) or when they were built on different geometry backends (2-D vertices
+are canonical across backends, see :mod:`repro.geometry.polytope`).  The
+r-skyband cache is keyed by ``(k, fingerprint)`` and shared across solver
+methods; the result cache adds the method name: ``(k, fingerprint, method)``.
+Both are bounded LRUs (:class:`~repro.engine.cache.LRUCache`): inserting
+beyond ``skyband_cache_size`` / ``result_cache_size`` evicts the least
+recently *used* entry (hits refresh recency), so a long-lived session holds
+at most that many intermediates regardless of how many distinct queries it
+has seen.  Evicting an r-skyband entry also drops the
+:class:`~repro.core.scorecache.VertexScoreMemo` stored alongside it.
+
 Results are exactly those of :func:`~repro.core.toprr.solve_toprr` — the
 engine only changes where the intermediates come from, never what they are
-(the parity tests in ``tests/test_engine.py`` assert this).
+(the parity tests in ``tests/test_engine.py`` assert this).  A runnable tour
+of the cache behaviour lives in ``examples/quickstart.py``.
 """
 
 from __future__ import annotations
@@ -93,10 +110,16 @@ class TopRREngine:
         Numerical tolerance bundle shared by all queries.
     skyband_cache_size:
         Bound of the r-skyband LRU (entries are keyed by
-        ``(k, region fingerprint)``).  ``0`` disables the cache.
+        ``(k, region fingerprint)`` and carry the filtered dataset, the
+        working set sliced from the bound affine form, and the vertex-score
+        memo).  Least-recently-used entries are evicted beyond the bound;
+        ``0`` disables the cache.
     result_cache_size:
-        Bound of the full-result LRU (keyed by ``(k, fingerprint, method)``).
-        ``0`` disables result reuse.
+        Bound of the full-result LRU (keyed by ``(k, fingerprint, method)``;
+        the method key exists because different solvers may return different
+        — equally valid — ``V_all`` partitionings).  ``0`` disables result
+        reuse.  Only string methods are cacheable; passing a solver
+        *instance* bypasses this cache.
 
     Examples
     --------
@@ -147,6 +170,7 @@ class TopRREngine:
         return self._affine
 
     def _validate(self, k: int, region: PreferenceRegion) -> None:
+        """Reject out-of-range ``k`` and dataset/region dimension mismatches."""
         if k <= 0:
             raise InvalidParameterError(f"k must be positive, got {k}")
         if k > self.dataset.n_options:
@@ -335,7 +359,12 @@ class TopRREngine:
         """Precompute the r-skyband for every ``(k, region)`` combination.
 
         Returns the number of entries actually computed (combinations already
-        cached are skipped).  Useful before serving an anticipated query mix.
+        cached are skipped).  Useful before serving an anticipated query mix:
+        a warmed ``(k, region)`` pair answers its first :meth:`query` with
+        the pre-filter — typically the larger fixed cost on big catalogues —
+        already paid, and its vertex-score memo already allocated.  Warming
+        more combinations than ``skyband_cache_size`` silently evicts the
+        oldest ones, so size the cache to the query mix first.
         """
         regions = list(regions)
         computed = 0

@@ -6,19 +6,44 @@ facet/vertex/halfspace representation of Section 4.2.2, LP helpers
 (feasibility, Chebyshev centres), vertex enumeration via halfspace
 intersection, polytope volume, and the quadratic-programming placement
 solvers used for cost-optimal option creation and enhancement.
+
+Two interchangeable backends implement the polytope primitives (see
+:mod:`repro.geometry.polytope`): the generic LP/qhull path, and an exact 2-D
+polygon path (:mod:`repro.geometry.polygon`) — closed-form Sutherland–Hodgman
+clipping with no ``linprog`` and no qhull calls — that is auto-selected for
+two-dimensional bodies, the dominant case in the paper's experiments.  The
+per-thread :data:`~repro.geometry.counters.geometry_counters` make the
+elimination observable (they feed the ``n_lp_calls`` / ``n_qhull_calls`` /
+``n_clip_calls`` fields of :class:`~repro.core.stats.SolverStats`).
 """
 
 from repro.geometry.halfspace import Halfspace
 from repro.geometry.hyperplane import Hyperplane
-from repro.geometry.polytope import ConvexPolytope
-from repro.geometry.chebyshev import chebyshev_center, is_feasible
+from repro.geometry.polytope import (
+    ConvexPolytope,
+    default_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.geometry.polygon import Polygon, polygon_from_halfspaces
+from repro.geometry.chebyshev import chebyshev_center, chebyshev_centre, is_feasible
+from repro.geometry.counters import geometry_counters
+from repro.geometry.vertex_enum import canonicalize_polygon_vertices
 from repro.geometry.qp import minimize_quadratic_cost, project_point_onto_polytope
 
 __all__ = [
     "Hyperplane",
     "Halfspace",
     "ConvexPolytope",
+    "Polygon",
+    "polygon_from_halfspaces",
+    "canonicalize_polygon_vertices",
+    "default_backend",
+    "set_default_backend",
+    "use_backend",
+    "geometry_counters",
     "chebyshev_center",
+    "chebyshev_centre",
     "is_feasible",
     "minimize_quadratic_cost",
     "project_point_onto_polytope",

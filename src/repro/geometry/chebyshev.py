@@ -12,12 +12,14 @@ largest inscribed ball.  It serves two purposes in this package:
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
 
 from repro.exceptions import InfeasibleProblemError
+from repro.geometry.counters import geometry_counters
 
 
 def chebyshev_center(
@@ -71,6 +73,7 @@ def chebyshev_center(
     A_ub = np.hstack([A_eff, norms_eff[:, None]])
     b_ub = b_eff
     bounds = [(-bound, bound)] * dim + [(0.0, bound)]
+    geometry_counters.n_lp_calls += 1
     res = linprog(c, A_ub=A_ub, b_ub=b_ub, bounds=bounds, method="highs")
     if not res.success:
         return None, float("-inf")
@@ -114,6 +117,7 @@ def maximize_linear(
     """
     objective = np.asarray(objective, dtype=float)
     dim = objective.shape[0]
+    geometry_counters.n_lp_calls += 1
     res = linprog(
         -objective,
         A_ub=np.asarray(A, dtype=float),
@@ -125,3 +129,24 @@ def maximize_linear(
         raise InfeasibleProblemError("linear program is infeasible or unbounded")
     point = np.asarray(res.x, dtype=float)
     return point, float(objective @ point)
+
+
+def chebyshev_centre(
+    A: np.ndarray,
+    b: np.ndarray,
+    bound: float = 1e6,
+) -> Tuple[Optional[np.ndarray], float]:
+    """Deprecated British-spelling alias of :func:`chebyshev_center`.
+
+    The package historically mixed both spellings (the module function was
+    ``chebyshev_center`` while :class:`~repro.geometry.polytope.ConvexPolytope`
+    exposed a ``chebyshev_centre`` property).  ``chebyshev_center`` is the one
+    canonical name; this alias emits a :class:`DeprecationWarning` and will be
+    removed in a future release.
+    """
+    warnings.warn(
+        "chebyshev_centre is deprecated; use chebyshev_center",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return chebyshev_center(A, b, bound=bound)

@@ -1,0 +1,75 @@
+"""Thread-local counters for the expensive geometry primitives.
+
+The tentpole question of the geometry backend work is *observable
+elimination*: with the exact 2-D polygon backend selected, a solve must
+perform **zero** `scipy.optimize.linprog` round trips and **zero** qhull
+halfspace intersections, replacing both with closed-form polygon clipping.
+The only way to assert that from a test (or to report it from
+:class:`~repro.core.stats.SolverStats`) is to count the calls at the source.
+
+Every LP solve (:func:`repro.geometry.chebyshev.chebyshev_center`,
+:func:`~repro.geometry.chebyshev.maximize_linear`), every qhull halfspace
+intersection (:func:`repro.geometry.vertex_enum.enumerate_vertices`) and
+every polygon clipping pass (:mod:`repro.geometry.polygon`) increments the
+process-wide :data:`geometry_counters`.  The counters are ``threading.local``
+so that concurrent solves (e.g. :meth:`TopRREngine.query_batch` with the
+thread executor) each observe their own deltas; solvers snapshot the counters
+around their region loop and record the difference into ``SolverStats``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import NamedTuple
+
+
+class GeometrySnapshot(NamedTuple):
+    """Immutable view of the three per-thread geometry counters."""
+
+    n_lp_calls: int
+    n_qhull_calls: int
+    n_clip_calls: int
+
+
+class GeometryCounters(threading.local):
+    """Per-thread running totals of LP, qhull and polygon-clip invocations.
+
+    Attributes
+    ----------
+    n_lp_calls:
+        ``scipy.optimize.linprog`` round trips (Chebyshev centres,
+        feasibility tests, linear maximisation).
+    n_qhull_calls:
+        qhull halfspace intersections (general-dimension vertex
+        enumeration).
+    n_clip_calls:
+        Closed-form polygon clipping passes (one per halfspace clip; a
+        polygon *cut* — one pass emitting both children — also counts one).
+    """
+
+    def __init__(self):
+        self.n_lp_calls = 0
+        self.n_qhull_calls = 0
+        self.n_clip_calls = 0
+
+    def snapshot(self) -> GeometrySnapshot:
+        """Current totals, for delta accounting around a solve."""
+        return GeometrySnapshot(self.n_lp_calls, self.n_qhull_calls, self.n_clip_calls)
+
+    def delta(self, since: GeometrySnapshot) -> GeometrySnapshot:
+        """Counts accumulated since ``since`` (an earlier :meth:`snapshot`)."""
+        return GeometrySnapshot(
+            self.n_lp_calls - since.n_lp_calls,
+            self.n_qhull_calls - since.n_qhull_calls,
+            self.n_clip_calls - since.n_clip_calls,
+        )
+
+    def reset(self) -> None:
+        """Zero the calling thread's counters (used by tests and benchmarks)."""
+        self.n_lp_calls = 0
+        self.n_qhull_calls = 0
+        self.n_clip_calls = 0
+
+
+#: Process-wide (per-thread) geometry counters.
+geometry_counters = GeometryCounters()

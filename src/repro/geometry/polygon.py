@@ -1,0 +1,368 @@
+"""Exact 2-D polygon geometry: closed-form clipping with no LP and no qhull.
+
+The paper's experiments run overwhelmingly with ``d = 3`` attributes, i.e.
+in a 2-D reduced preference space, where every region the test-and-split
+solvers touch is a convex *polygon*.  The generic geometry layer treats it
+like any polytope: a scipy ``linprog`` round trip for the Chebyshev
+centre/feasibility of every split child plus a qhull halfspace intersection
+to enumerate its vertices.  Both are closed-form in 2-D:
+
+* **halfspace clipping** (Sutherland–Hodgman) intersects an ordered vertex
+  list with ``a . x <= b`` in one pass;
+* a **cut by a hyperplane** classifies the vertices once and emits both
+  children, which share the cut edge (and share the exact bytes of the cut
+  vertices — see :func:`~repro.geometry.vertex_enum.canonicalize_polygon_vertices`);
+* the **Chebyshev centre** of a polygon is an LP in three variables whose
+  optimum is attained at a basic solution — enumerating the (few) facet
+  triples solves it exactly;
+* **area** is the shoelace formula, **emptiness** is an empty vertex list.
+
+:class:`Polygon` is the ordered-vertex representation used by the
+``backend="polygon"`` dispatch in :class:`~repro.geometry.polytope.ConvexPolytope`
+(auto-selected for 2-D bodies).  Each edge carries the *label* (row index)
+of the halfspace it lies on, so the final vertex coordinates can be
+recomputed exactly from the owning H-representation — which is what makes
+the polygon backend bit-identical to the LP/qhull path rather than merely
+close to it.
+
+Polygons are built from an arbitrary H-representation by clipping a large
+safety box (the same ``±bound`` box :func:`~repro.geometry.chebyshev.chebyshev_center`
+imposes on its LP), so unbounded intermediate H-representations are handled
+gracefully: the polygon remembers that it still touches the safety box
+(synthetic negative edge labels) and callers can fall back to the generic
+path for those rare, non-solver cases.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.counters import geometry_counters
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+#: Safety-box half-width for unbounded H-representations; mirrors the
+#: ``bound`` box of :func:`repro.geometry.chebyshev.chebyshev_center`.
+DEFAULT_BOUND = 1e6
+
+#: Relative threshold under which two consecutive polygon vertices are
+#: merged as numerical noise.  Deliberately far below ``Tolerance.dedup`` so
+#: that thin-but-real slivers (width above ``Tolerance.radius``) survive and
+#: keep their exact inradius — collapsing them here would flip
+#: full-dimensionality verdicts relative to the LP path.
+_MERGE_EPS = 1e-12
+
+
+class Polygon:
+    """A convex polygon as an ordered (counter-clockwise) vertex list.
+
+    Parameters
+    ----------
+    points:
+        ``(m, 2)`` vertex array in counter-clockwise order.  ``m`` may be 0
+        (empty), 1 (point) or 2 (segment) for degenerate bodies.
+    edge_labels:
+        ``(m,)`` int array; ``edge_labels[i]`` is the index of the halfspace
+        row (in the owning H-representation) that edge ``i`` — from vertex
+        ``i`` to vertex ``(i + 1) % m`` — lies on.  Negative labels are
+        synthetic: they mark edges of the construction safety box and flag
+        the polygon as (still) unbounded.
+
+    Instances are immutable by convention: clipping returns new polygons.
+    """
+
+    __slots__ = ("points", "edge_labels")
+
+    def __init__(self, points: np.ndarray, edge_labels: np.ndarray):
+        self.points = np.asarray(points, dtype=float).reshape(-1, 2)
+        self.edge_labels = np.asarray(edge_labels, dtype=int).reshape(-1)
+        if self.points.shape[0] != self.edge_labels.shape[0]:
+            raise ValueError("polygon needs one edge label per vertex")
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_vertices(self) -> int:
+        """Number of (ordered) vertices."""
+        return self.points.shape[0]
+
+    def is_empty(self) -> bool:
+        """True when the polygon has no points at all."""
+        return self.points.shape[0] == 0
+
+    def touches_bound(self) -> bool:
+        """True when an edge still lies on the construction safety box.
+
+        A polygon built from an H-representation that does not bound the
+        plane keeps (synthetic, negative) safety-box labels; callers treat
+        such polygons as unbounded bodies.
+        """
+        return bool(np.any(self.edge_labels < 0))
+
+    def area(self) -> float:
+        """Euclidean area via the shoelace formula (0.0 for degenerate bodies)."""
+        if self.points.shape[0] < 3:
+            return 0.0
+        x, y = self.points[:, 0], self.points[:, 1]
+        return 0.5 * float(np.abs(np.dot(x, np.roll(y, -1)) - np.dot(np.roll(x, -1), y)))
+
+    def centroid(self) -> np.ndarray:
+        """Area centroid (vertex mean for degenerate bodies) — an interior point.
+
+        For a full-dimensional convex polygon the area centroid is strictly
+        interior, which is all the solver-side callers need; no LP is
+        involved.
+        """
+        m = self.points.shape[0]
+        if m == 0:
+            raise ValueError("empty polygon has no centroid")
+        if m < 3:
+            return self.points.mean(axis=0)
+        x, y = self.points[:, 0], self.points[:, 1]
+        x1, y1 = np.roll(x, -1), np.roll(y, -1)
+        cross = x * y1 - x1 * y
+        twice_area = float(cross.sum())
+        if abs(twice_area) <= _MERGE_EPS * max(1.0, float(np.abs(self.points).max())):
+            return self.points.mean(axis=0)
+        cx = float(((x + x1) * cross).sum() / (3.0 * twice_area))
+        cy = float(((y + y1) * cross).sum() / (3.0 * twice_area))
+        return np.array([cx, cy])
+
+    # ------------------------------------------------------------------ #
+    # clipping
+    # ------------------------------------------------------------------ #
+    def clip(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        label: int,
+        tol: Tolerance = DEFAULT_TOL,
+    ) -> "Polygon":
+        """Sutherland–Hodgman clip by the halfspace ``normal . x <= offset``.
+
+        Vertices within ``tol.geometry`` of the boundary count as inside
+        (mirroring the vertex classification of the split machinery, where
+        "on" vertices belong to both children).  The new edge introduced on
+        the clipping line is labelled ``label``.
+        """
+        if self.points.shape[0] == 0:
+            return self
+        geometry_counters.n_clip_calls += 1
+        signed = self.points @ np.asarray(normal, dtype=float) - float(offset)
+        return self._emit_side(signed, label, tol)
+
+    def cut(
+        self,
+        normal: np.ndarray,
+        offset: float,
+        label: int,
+        tol: Tolerance = DEFAULT_TOL,
+    ) -> Tuple["Polygon", "Polygon"]:
+        """Split by the hyperplane ``normal . x = offset`` into two children.
+
+        One classification pass serves both sides: the ``(<=)`` child and the
+        ``(>=)`` child share the cut edge (labelled ``label`` in both), and
+        vertices lying on the hyperplane belong to both children.  Crossing
+        points are interpolated once and reused, so the shared vertices are
+        bit-identical across siblings even before canonicalisation.
+        """
+        if self.points.shape[0] == 0:
+            return self, self
+        geometry_counters.n_clip_calls += 1
+        signed = self.points @ np.asarray(normal, dtype=float) - float(offset)
+        below = self._emit_side(signed, label, tol)
+        above = self._emit_side(-signed, label, tol)
+        return below, above
+
+    def _emit_side(self, signed: np.ndarray, cut_label: int, tol: Tolerance) -> "Polygon":
+        """One Sutherland–Hodgman pass keeping ``signed <= tol.geometry``."""
+        tolg = tol.geometry
+        inside = signed <= tolg
+        if bool(inside.all()):
+            return self
+        if not bool(inside.any()):
+            return Polygon(np.empty((0, 2)), np.empty(0, dtype=int))
+        m = self.points.shape[0]
+        out_points: List[np.ndarray] = []
+        out_labels: List[int] = []
+        for i in range(m):
+            j = (i + 1) % m
+            d0, d1 = signed[i], signed[j]
+            if inside[i]:
+                out_points.append(self.points[i])
+                if inside[j]:
+                    out_labels.append(int(self.edge_labels[i]))
+                elif d0 < -tolg:
+                    # Strictly inside -> strictly outside: a real crossing.
+                    out_labels.append(int(self.edge_labels[i]))
+                    t = d0 / (d0 - d1)
+                    out_points.append(self.points[i] + t * (self.points[j] - self.points[i]))
+                    out_labels.append(cut_label)
+                else:
+                    # The vertex itself lies on the cut; the boundary leaves
+                    # along the cut line from here.
+                    out_labels.append(cut_label)
+            elif inside[j] and d1 < -tolg and d0 > tolg:
+                # Strictly outside -> strictly inside: re-entry crossing; the
+                # edge from the crossing to vertex j lies on the old facet.
+                t = d0 / (d0 - d1)
+                out_points.append(self.points[i] + t * (self.points[j] - self.points[i]))
+                out_labels.append(int(self.edge_labels[i]))
+            # outside -> "on" needs no crossing: the re-entry point *is*
+            # vertex j, emitted (with its own label logic) on the next turn.
+        return _merged(np.asarray(out_points), np.asarray(out_labels, dtype=int))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Polygon(n_vertices={self.n_vertices}, area={self.area():.3g})"
+
+
+def _merged(points: np.ndarray, labels: np.ndarray) -> Polygon:
+    """Drop zero-length edges (consecutive vertices merged as numerical noise).
+
+    When vertex ``i`` coincides with its successor (within :data:`_MERGE_EPS`,
+    relative), vertex ``i`` and its outgoing zero-length edge are removed; the
+    predecessor's edge then connects directly to the successor, which is the
+    same geometric edge.  The threshold is far below ``Tolerance.dedup`` on
+    purpose: real sliver polygons must survive with their exact shape.
+    """
+    m = points.shape[0]
+    if m < 2:
+        return Polygon(points, labels)
+    scale = 1.0 + float(np.abs(points).max())
+    nxt = np.roll(points, -1, axis=0)
+    zero_edge = np.max(np.abs(points - nxt), axis=1) <= _MERGE_EPS * scale
+    if bool(zero_edge.any()):
+        keep = ~zero_edge
+        points = points[keep]
+        labels = labels[keep]
+    return Polygon(points, labels)
+
+
+def polygon_from_halfspaces(
+    A: np.ndarray,
+    b: np.ndarray,
+    tol: Tolerance = DEFAULT_TOL,
+    bound: float = DEFAULT_BOUND,
+) -> Polygon:
+    """Build the polygon ``{x : A x <= b}`` by clipping a safety box.
+
+    The box ``[-bound, bound]^2`` (synthetic edge labels ``-1 .. -4``) is
+    clipped by every row of the H-representation in order; row ``i`` becomes
+    edge label ``i``.  If the result still touches the box the input was
+    unbounded — :meth:`Polygon.touches_bound` reports it and callers decide
+    how to proceed (the polytope layer falls back to the generic qhull path
+    for vertex output in that case).
+    """
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    b = np.asarray(b, dtype=float).ravel()
+    if A.shape[1] != 2:
+        raise ValueError("polygon_from_halfspaces requires a 2-D H-representation")
+    box_points = np.array(
+        [[-bound, -bound], [bound, -bound], [bound, bound], [-bound, bound]]
+    )
+    polygon = Polygon(box_points, np.array([-1, -2, -3, -4]))
+    for row in range(A.shape[0]):
+        polygon = polygon.clip(A[row], b[row], label=row, tol=tol)
+        if polygon.is_empty():
+            break
+    return polygon
+
+
+def polygon_chebyshev(
+    A: np.ndarray,
+    b: np.ndarray,
+    polygon: Polygon,
+    tol: Tolerance = DEFAULT_TOL,
+    bound: float = DEFAULT_BOUND,
+) -> Tuple[Optional[np.ndarray], float]:
+    """Exact Chebyshev centre and radius of a 2-D polytope — no LP.
+
+    The Chebyshev problem ``max r  s.t.  a_i . x + r <= b_i`` (rows are unit
+    normals) is a linear program in ``(x, r)`` whose optimum is attained at a
+    basic solution: three active constraints.  The candidate actives are the
+    polytope's non-redundant facets — exactly the edges of ``polygon`` — plus
+    the same auxiliary constraints the LP formulation carries (the ``±bound``
+    box on ``x``, ``0 <= r <= bound``).  Enumerating the facet triples, one
+    vectorised ``3 x 3`` solve each, and keeping the best feasible candidate
+    reproduces the LP's optimum in closed form.
+
+    Degenerate bodies are handled by additionally evaluating the polygon's
+    own vertices and centroid as centre candidates (a segment's optimum has
+    radius 0 with the ``r >= 0`` bound active, which no facet triple
+    expresses); the best of all candidates is returned.
+
+    Returns ``(centre, radius)`` exactly like
+    :func:`~repro.geometry.chebyshev.chebyshev_center`: ``(None, -inf)`` for
+    an empty body, radius (numerically) zero for a lower-dimensional one.
+
+    One documented edge: systems that are infeasible by a margin between
+    ``tol.geometry`` and the LP solver's own feasibility slack (~1e-7) are
+    reported empty here but may come back from HiGHS as feasible with a tiny
+    negative radius.  Both verdicts make every solver discard the region
+    (not full-dimensional either way), so solver output is unaffected;
+    callers branching on ``is_empty`` for near-infeasible inputs should not
+    expect backend-identical answers inside that band.
+    """
+    if polygon.is_empty():
+        return None, float("-inf")
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    b = np.asarray(b, dtype=float).ravel()
+
+    facet_rows = np.unique(polygon.edge_labels[polygon.edge_labels >= 0])
+    rows = [np.array([A[i, 0], A[i, 1], 1.0, b[i]]) for i in facet_rows]
+    if polygon.touches_bound() or len(rows) < 3:
+        # Mirror the LP's auxiliary box exactly: |x_i| <= bound carries no
+        # radius coefficient, and r is bounded above by `bound`.
+        rows.append(np.array([1.0, 0.0, 0.0, bound]))
+        rows.append(np.array([-1.0, 0.0, 0.0, bound]))
+        rows.append(np.array([0.0, 1.0, 0.0, bound]))
+        rows.append(np.array([0.0, -1.0, 0.0, bound]))
+        rows.append(np.array([0.0, 0.0, 1.0, bound]))
+    system = np.asarray(rows)
+    lhs = system[:, :3]
+    rhs = system[:, 3]
+    feas_eps = 1e-9 * (1.0 + float(np.abs(rhs).max(initial=0.0)))
+
+    best_center: Optional[np.ndarray] = None
+    best_radius = float("-inf")
+
+    n_rows = lhs.shape[0]
+    if n_rows >= 3:
+        triples = np.array(list(combinations(range(n_rows), 3)), dtype=int)
+        mats = lhs[triples]  # (T, 3, 3)
+        dets = np.linalg.det(mats)
+        regular = np.abs(dets) > 1e-12
+        if bool(regular.any()):
+            solutions = np.linalg.solve(mats[regular], rhs[triples[regular]][..., None])[..., 0]
+            radii = solutions[:, 2]
+            # Feasibility of each candidate against every constraint row.
+            slack = solutions @ lhs.T - rhs[None, :]
+            feasible = np.all(slack <= feas_eps, axis=1) & (radii >= -feas_eps)
+            if bool(feasible.any()):
+                idx = int(np.argmax(np.where(feasible, radii, -np.inf)))
+                best_radius = float(radii[idx])
+                best_center = solutions[idx, :2].copy()
+
+    # Point candidates cover degenerate optima (r* = 0 on a segment/point),
+    # which no regular facet triple expresses.
+    candidates = [polygon.points.mean(axis=0)]
+    if polygon.n_vertices >= 3:
+        candidates.append(polygon.centroid())
+    candidates.extend(polygon.points)
+    pts = np.asarray(candidates)
+    ball_rows = lhs[:, 2] > 0.5
+    if bool(ball_rows.any()):
+        slack = rhs[ball_rows][None, :] - pts @ lhs[ball_rows][:, :2].T
+        point_radii = slack.min(axis=1)
+        idx = int(np.argmax(point_radii))
+        if float(point_radii[idx]) > best_radius:
+            best_radius = float(point_radii[idx])
+            best_center = pts[idx].copy()
+
+    if best_center is None:
+        # No r-bearing rows at all (pure box): centre of the box.
+        return np.zeros(2), float(bound)
+    return best_center, max(best_radius, 0.0)

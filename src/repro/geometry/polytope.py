@@ -11,14 +11,38 @@ A :class:`ConvexPolytope` keeps three coordinated views of the same body
 Splitting a polytope by a hyperplane — the core geometric operation of the
 test-and-split algorithms — classifies the vertices by side, reuses the
 parent's facets, adds the splitting hyperplane as a new facet on each child,
-and re-enumerates vertices with qhull (the same library the paper's C++
-implementation calls).  Children whose Chebyshev radius is below tolerance
-are reported as empty.
+and re-enumerates vertices.  Children whose Chebyshev radius is below
+tolerance are reported as empty.
+
+Two interchangeable **geometry backends** implement the primitives:
+
+``"qhull"``
+    The general-dimension path: Chebyshev centre / feasibility via a scipy
+    ``linprog`` round trip, vertex enumeration via a qhull halfspace
+    intersection (the same library the paper's C++ implementation calls).
+
+``"polygon"``
+    The exact 2-D path (:mod:`repro.geometry.polygon`): the body is an
+    ordered vertex list; splitting is one closed-form Sutherland–Hodgman
+    pass that both children inherit, and centre/radius/emptiness come from
+    a closed-form facet-triple enumeration.  **No LP, no qhull.**
+
+``backend="auto"`` (the default) selects ``"polygon"`` for 2-D bodies — the
+dominant case in the paper's experiments (``d = 3`` attributes) — and
+``"qhull"`` otherwise.  Both backends finish vertex output with the same
+canonicalisation (:func:`~repro.geometry.vertex_enum.canonicalize_polygon_vertices`),
+so their vertices are bit-identical and in the same canonical order; the
+parity suites in ``tests/test_geometry_polygon.py`` and
+``tests/test_polygon_backend.py`` pin this down to solver-level ``V_all``
+equality.  Use :func:`use_backend` (or a ``backend=`` override) to force the
+LP/qhull path, e.g. for parity testing and benchmarking.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+import warnings
 
 import numpy as np
 
@@ -26,12 +50,59 @@ from repro.exceptions import DegeneratePolytopeError, EmptyRegionError
 from repro.geometry.chebyshev import chebyshev_center, maximize_linear
 from repro.geometry.halfspace import Halfspace
 from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.polygon import Polygon, polygon_chebyshev, polygon_from_halfspaces
 from repro.geometry.vertex_enum import (
+    canonicalize_polygon_vertices,
     deduplicate_points,
     enumerate_vertices,
     vertex_facet_incidence,
 )
 from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+#: Backend specifications accepted by :class:`ConvexPolytope`.
+BACKENDS = ("auto", "qhull", "polygon")
+
+#: Module-wide default backend specification (see :func:`set_default_backend`).
+_DEFAULT_BACKEND = "auto"
+
+
+def default_backend() -> str:
+    """The module-wide backend specification new polytopes start from."""
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the module-wide backend specification (``"auto"``/``"qhull"``/``"polygon"``).
+
+    Applies to polytopes constructed *afterwards* without an explicit
+    ``backend=`` argument; existing polytopes keep (and propagate to their
+    children) the specification they were built with.
+    """
+    global _DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown geometry backend {backend!r}; expected one of {BACKENDS}")
+    _DEFAULT_BACKEND = backend
+
+
+@contextmanager
+def use_backend(backend: str) -> Iterator[None]:
+    """Context manager scoping :func:`set_default_backend` to a ``with`` block.
+
+    The parity suites use ``with use_backend("qhull"):`` to build a
+    reference region whose whole split tree runs on the LP/qhull path.
+
+    The default is a process-wide setting, not thread-local: polytopes
+    constructed on *any* thread during the ``with`` block pick it up.  Use
+    explicit ``backend=`` arguments instead when other threads may be
+    constructing regions concurrently (split children always inherit their
+    parent's specification, so in-flight solves are unaffected either way).
+    """
+    previous = _DEFAULT_BACKEND
+    set_default_backend(backend)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
 
 
 class ConvexPolytope:
@@ -43,12 +114,26 @@ class ConvexPolytope:
     Parameters
     ----------
     A, b:
-        H-representation.  Rows with (numerically) zero normals are dropped.
+        H-representation.  Rows with (numerically) zero normals are dropped;
+        the remaining rows are normalised to unit normals (idempotently —
+        already-normalised rows keep their exact bytes, so facet rows are
+        bit-stable across parent/child polytopes).
     vertices:
         Optional pre-computed vertex array.  When omitted, vertices are
         enumerated lazily on first access.
     tol:
         Tolerance bundle used by all geometric predicates on this polytope.
+    backend:
+        Geometry backend specification: ``"auto"`` (default; the exact
+        polygon backend for 2-D bodies, LP/qhull otherwise), ``"qhull"``, or
+        ``"polygon"``.  ``None`` uses the module default
+        (:func:`set_default_backend`).  Derived polytopes (intersections,
+        split children) inherit the parent's specification.
+    polygon:
+        Internal: a pre-clipped :class:`~repro.geometry.polygon.Polygon`
+        consistent with ``(A, b)`` (edge labels indexing its rows), handed
+        down by the parent on incremental clips.  Ignored unless the polygon
+        backend is active.
     """
 
     def __init__(
@@ -57,6 +142,8 @@ class ConvexPolytope:
         b: np.ndarray,
         vertices: Optional[np.ndarray] = None,
         tol: Tolerance = DEFAULT_TOL,
+        backend: Optional[str] = None,
+        polygon: Optional[Polygon] = None,
     ):
         A = np.atleast_2d(np.asarray(A, dtype=float))
         b = np.asarray(b, dtype=float).ravel()
@@ -64,12 +151,34 @@ class ConvexPolytope:
             raise ValueError("A and b must have the same number of rows")
         norms = np.linalg.norm(A, axis=1)
         keep = norms > tol.geometry
-        # Normalise rows so that facet identification and slack values are scale-free.
-        A = A[keep] / norms[keep][:, None]
-        b = b[keep] / norms[keep]
+        # Normalise rows so that facet identification and slack values are
+        # scale-free.  Idempotent: rows that are already unit-norm are left
+        # bit-for-bit untouched, so a child's inherited facet rows equal the
+        # parent's exactly (which keeps facet-snapped vertex bytes — and the
+        # solver's vertex-score memo keys — stable across the split tree).
+        A = A[keep]
+        b = b[keep]
+        norms = norms[keep]
+        rescale = np.abs(norms - 1.0) > 1e-12
+        if np.any(rescale):
+            A = A.copy()
+            b = b.copy()
+            A[rescale] /= norms[rescale][:, None]
+            b[rescale] /= norms[rescale]
         self._A = A
         self._b = b
         self._tol = tol
+        if backend is None:
+            backend = _DEFAULT_BACKEND
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown geometry backend {backend!r}; expected one of {BACKENDS}")
+        self._backend_spec = backend
+        self._use_polygon = backend == "polygon" or (
+            backend == "auto" and A.shape[1] == 2
+        )
+        if self._use_polygon and A.shape[1] != 2:
+            raise ValueError("the polygon backend requires a 2-D polytope")
+        self._polygon: Optional[Polygon] = polygon if (self._use_polygon and np.all(keep)) else None
         self._vertices = None if vertices is None else np.asarray(vertices, dtype=float)
         self._chebyshev: Optional[Tuple[Optional[np.ndarray], float]] = None
         self._incidence: Optional[np.ndarray] = None
@@ -83,6 +192,7 @@ class ConvexPolytope:
         lower: Sequence[float],
         upper: Sequence[float],
         tol: Tolerance = DEFAULT_TOL,
+        backend: Optional[str] = None,
     ) -> "ConvexPolytope":
         """Axis-aligned box ``[lower, upper]`` as a polytope."""
         lower = np.asarray(lower, dtype=float)
@@ -95,13 +205,14 @@ class ConvexPolytope:
         eye = np.eye(dim)
         A = np.vstack([eye, -eye])
         b = np.concatenate([upper, -lower])
-        return cls(A, b, tol=tol)
+        return cls(A, b, tol=tol, backend=backend)
 
     @classmethod
     def from_halfspaces(
         cls,
         halfspaces: Iterable[Halfspace],
         tol: Tolerance = DEFAULT_TOL,
+        backend: Optional[str] = None,
     ) -> "ConvexPolytope":
         """Polytope bounded by an iterable of :class:`Halfspace` objects."""
         halfspaces = list(halfspaces)
@@ -109,7 +220,7 @@ class ConvexPolytope:
             raise ValueError("at least one halfspace is required")
         A = np.vstack([h.normal for h in halfspaces])
         b = np.array([h.offset for h in halfspaces], dtype=float)
-        return cls(A, b, tol=tol)
+        return cls(A, b, tol=tol, backend=backend)
 
     # ------------------------------------------------------------------ #
     # basic properties
@@ -134,9 +245,26 @@ class ConvexPolytope:
         """Tolerance bundle used by this polytope."""
         return self._tol
 
+    @property
+    def backend(self) -> str:
+        """The geometry backend in effect: ``"polygon"`` or ``"qhull"``."""
+        return "polygon" if self._use_polygon else "qhull"
+
+    def _ensure_polygon(self) -> Polygon:
+        """The backing polygon, built from ``(A, b)`` by clipping if needed."""
+        if self._polygon is None:
+            self._polygon = polygon_from_halfspaces(self._A, self._b, tol=self._tol)
+        return self._polygon
+
     def _cheb(self) -> Tuple[Optional[np.ndarray], float]:
+        """Cached ``(centre, radius)`` from the active backend."""
         if self._chebyshev is None:
-            self._chebyshev = chebyshev_center(self._A, self._b)
+            if self._use_polygon:
+                self._chebyshev = polygon_chebyshev(
+                    self._A, self._b, self._ensure_polygon(), tol=self._tol
+                )
+            else:
+                self._chebyshev = chebyshev_center(self._A, self._b)
         return self._chebyshev
 
     @property
@@ -145,10 +273,20 @@ class ConvexPolytope:
         return self._cheb()[1]
 
     @property
-    def chebyshev_centre(self) -> Optional[np.ndarray]:
+    def chebyshev_center(self) -> Optional[np.ndarray]:
         """Centre of the largest inscribed ball (``None`` if empty)."""
-        centre = self._cheb()[0]
-        return None if centre is None else centre.copy()
+        center = self._cheb()[0]
+        return None if center is None else center.copy()
+
+    @property
+    def chebyshev_centre(self) -> Optional[np.ndarray]:
+        """Deprecated British-spelling alias of :attr:`chebyshev_center`."""
+        warnings.warn(
+            "ConvexPolytope.chebyshev_centre is deprecated; use chebyshev_center",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.chebyshev_center
 
     def is_empty(self) -> bool:
         """Return True if the polytope has no point at all."""
@@ -160,18 +298,30 @@ class ConvexPolytope:
 
     @property
     def vertices(self) -> np.ndarray:
-        """Defining vertices as an ``(m, d)`` array (enumerated lazily)."""
+        """Defining vertices as an ``(m, d)`` array (enumerated lazily).
+
+        For 2-D bodies the vertices are *canonical* regardless of backend:
+        facet-snapped coordinates in lexicographic order (see
+        :func:`~repro.geometry.vertex_enum.canonicalize_polygon_vertices`).
+        """
         if self._vertices is None:
-            centre, radius = self._cheb()
-            if centre is None:
+            center, radius = self._cheb()
+            if center is None:
                 self._vertices = np.empty((0, self.dimension))
             elif radius <= self._tol.radius and self.dimension > 1:
                 raise DegeneratePolytopeError(
                     "cannot enumerate vertices of a lower-dimensional polytope"
                 )
+            elif self._use_polygon and not self._ensure_polygon().touches_bound():
+                self._vertices = canonicalize_polygon_vertices(
+                    self._A, self._b, self._ensure_polygon().points, tol=self._tol
+                )
             else:
+                # Generic path: qhull halfspace intersection (also the
+                # fallback for unbounded 2-D H-representations, where the
+                # clipped polygon still touches the safety box).
                 self._vertices = enumerate_vertices(
-                    self._A, self._b, interior_point=None if self.dimension == 1 else centre,
+                    self._A, self._b, interior_point=None if self.dimension == 1 else center,
                     tol=self._tol,
                 )
         return self._vertices
@@ -209,7 +359,27 @@ class ConvexPolytope:
         return np.all(slack <= tol.geometry, axis=1)
 
     def volume(self) -> float:
-        """Euclidean volume of the polytope (0.0 for empty or degenerate bodies)."""
+        """Euclidean volume of the polytope (0.0 for empty or degenerate bodies).
+
+        The polygon backend answers with the shoelace area of its ordered
+        vertex list; the generic path builds a qhull convex hull.
+        """
+        if self._use_polygon and not self._ensure_polygon().touches_bound():
+            try:
+                verts = self.vertices
+            except DegeneratePolytopeError:
+                return 0.0
+            if verts.shape[0] < 3:
+                return 0.0
+            # Shoelace over the canonical vertices, re-ordered by angle
+            # around their mean (the canonical order is lexicographic).
+            center = verts.mean(axis=0)
+            angles = np.arctan2(verts[:, 1] - center[1], verts[:, 0] - center[0])
+            ordered = verts[np.argsort(angles)]
+            x, y = ordered[:, 0], ordered[:, 1]
+            return 0.5 * float(
+                np.abs(np.dot(x, np.roll(y, -1)) - np.dot(np.roll(x, -1), y))
+            )
         try:
             verts = self.vertices
         except DegeneratePolytopeError:
@@ -233,28 +403,76 @@ class ConvexPolytope:
         return verts.min(axis=0), verts.max(axis=0)
 
     def support(self, direction: Sequence[float]) -> Tuple[np.ndarray, float]:
-        """Maximise ``direction . x`` over the polytope via LP."""
-        return maximize_linear(np.asarray(direction, dtype=float), self._A, self._b)
+        """Maximise ``direction . x`` over the polytope.
+
+        The polygon backend evaluates the direction on the (closed-form)
+        vertex set; the generic path solves an LP.
+        """
+        direction = np.asarray(direction, dtype=float)
+        if self._use_polygon and not self._ensure_polygon().touches_bound():
+            try:
+                verts = self.vertices
+            except DegeneratePolytopeError:
+                verts = np.empty((0, 2))
+            if verts.shape[0]:
+                values = verts @ direction
+                best = int(np.argmax(values))
+                return verts[best].copy(), float(values[best])
+        return maximize_linear(direction, self._A, self._b)
 
     # ------------------------------------------------------------------ #
     # construction of derived polytopes
     # ------------------------------------------------------------------ #
     def intersect_halfspace(self, halfspace: Halfspace) -> "ConvexPolytope":
-        """Intersect with a single halfspace, returning a new polytope."""
+        """Intersect with a single halfspace, returning a new polytope.
+
+        Under the polygon backend the child does **not** start from scratch:
+        it inherits this polytope's ordered vertex list clipped by one
+        Sutherland–Hodgman pass, and the new facet is labelled with its row
+        index in the child's H-representation.
+        """
         A = np.vstack([self._A, halfspace.normal[None, :]])
         b = np.concatenate([self._b, [halfspace.offset]])
-        return ConvexPolytope(A, b, tol=self._tol)
+        polygon = None
+        if self._use_polygon:
+            polygon = self._ensure_polygon().clip(
+                halfspace.normal, halfspace.offset, label=self._A.shape[0], tol=self._tol
+            )
+        return ConvexPolytope(
+            A, b, tol=self._tol, backend=self._backend_spec, polygon=polygon
+        )
 
     def intersect_halfspaces(self, halfspaces: Iterable[Halfspace]) -> "ConvexPolytope":
         """Intersect with several halfspaces at once, returning a new polytope."""
         halfspaces = list(halfspaces)
         if not halfspaces:
-            return ConvexPolytope(self._A, self._b, vertices=self._vertices, tol=self._tol)
+            return ConvexPolytope(
+                self._A,
+                self._b,
+                vertices=self._vertices,
+                tol=self._tol,
+                backend=self._backend_spec,
+                polygon=self._polygon,
+            )
         extra_A = np.vstack([h.normal for h in halfspaces])
         extra_b = np.array([h.offset for h in halfspaces], dtype=float)
         A = np.vstack([self._A, extra_A])
         b = np.concatenate([self._b, extra_b])
-        return ConvexPolytope(A, b, tol=self._tol)
+        polygon = None
+        if self._use_polygon:
+            polygon = self._ensure_polygon()
+            for index, halfspace in enumerate(halfspaces):
+                polygon = polygon.clip(
+                    halfspace.normal,
+                    halfspace.offset,
+                    label=self._A.shape[0] + index,
+                    tol=self._tol,
+                )
+                if polygon.is_empty():
+                    break
+        return ConvexPolytope(
+            A, b, tol=self._tol, backend=self._backend_spec, polygon=polygon
+        )
 
     def split(self, hyperplane: Hyperplane) -> Tuple["ConvexPolytope", "ConvexPolytope"]:
         """Split by ``hyperplane`` into the (<=) side and the (>=) side.
@@ -262,11 +480,35 @@ class ConvexPolytope:
         Both children share the splitting facet.  Either child may be empty
         (or lower-dimensional) when the hyperplane only grazes the polytope;
         callers should check :meth:`is_full_dimensional`.
+
+        Under the polygon backend this is the *incremental cut*: one
+        classification pass over the parent's ordered vertex list emits both
+        children, which share the cut edge (same label, same crossing-point
+        bytes) — no LP and no re-enumeration.
         """
-        below = self.intersect_halfspace(Halfspace.from_hyperplane(hyperplane))
-        above = self.intersect_halfspace(
-            Halfspace(-hyperplane.normal, -hyperplane.offset, normalize=False)
-        )
+        below_halfspace = Halfspace.from_hyperplane(hyperplane)
+        above_halfspace = Halfspace(-hyperplane.normal, -hyperplane.offset, normalize=False)
+        if self._use_polygon:
+            below_polygon, above_polygon = self._ensure_polygon().cut(
+                hyperplane.normal, hyperplane.offset, label=self._A.shape[0], tol=self._tol
+            )
+            below = ConvexPolytope(
+                np.vstack([self._A, below_halfspace.normal[None, :]]),
+                np.concatenate([self._b, [below_halfspace.offset]]),
+                tol=self._tol,
+                backend=self._backend_spec,
+                polygon=below_polygon,
+            )
+            above = ConvexPolytope(
+                np.vstack([self._A, above_halfspace.normal[None, :]]),
+                np.concatenate([self._b, [above_halfspace.offset]]),
+                tol=self._tol,
+                backend=self._backend_spec,
+                polygon=above_polygon,
+            )
+            return below, above
+        below = self.intersect_halfspace(below_halfspace)
+        above = self.intersect_halfspace(above_halfspace)
         return below, above
 
     def classify_vertices(self, hyperplane: Hyperplane) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -298,7 +540,23 @@ class ConvexPolytope:
         keep = tight_counts >= 1
         if np.all(keep):
             return self
-        return ConvexPolytope(self._A[keep], self._b[keep], vertices=verts, tol=self._tol)
+        polygon = None
+        if self._use_polygon and self._polygon is not None:
+            # Re-index the polygon's edge labels to the surviving rows.  Edge
+            # labels always refer to facets tight at two vertices, so they
+            # are never dropped; synthetic (negative) labels pass through.
+            new_index = np.cumsum(keep) - 1
+            labels = self._polygon.edge_labels
+            remapped = np.where(labels >= 0, new_index[np.clip(labels, 0, None)], labels)
+            polygon = Polygon(self._polygon.points, remapped)
+        return ConvexPolytope(
+            self._A[keep],
+            self._b[keep],
+            vertices=verts,
+            tol=self._tol,
+            backend=self._backend_spec,
+            polygon=polygon,
+        )
 
     def sample(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``n_samples`` points from the polytope by rejection inside its bounding box.
@@ -327,7 +585,7 @@ class ConvexPolytope:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"ConvexPolytope(dim={self.dimension}, constraints={self.n_constraints}, "
-            f"radius={self.chebyshev_radius:.3g})"
+            f"backend={self.backend!r}, radius={self.chebyshev_radius:.3g})"
         )
 
 

@@ -55,10 +55,12 @@ def _solve_qp(
     x0 = centre
 
     def objective(x: np.ndarray) -> float:
+        """Weighted squared distance from ``x`` to the target point."""
         diff = x - target
         return float(np.dot(weights * diff, diff))
 
     def gradient(x: np.ndarray) -> np.ndarray:
+        """Gradient of :func:`objective` at ``x``."""
         return 2.0 * weights * (x - target)
 
     constraints = [

@@ -5,6 +5,16 @@ The general-dimension path delegates to qhull through
 implementation calls the qhull library.  A dedicated 1-D fast path covers the
 interval polytopes that arise for 2-attribute datasets (where the preference
 space is one-dimensional, as in the paper's running example).
+
+For two-dimensional polytopes — the overwhelmingly common case in the
+paper's experiments, where ``d = 3`` attributes give a 2-D preference space
+— every enumerated vertex is additionally *canonicalised* by
+:func:`canonicalize_polygon_vertices`: its coordinates are recomputed in
+closed form from its two tight facets and the result is returned in a fixed
+lexicographic order.  The closed-form polygon backend of
+:mod:`repro.geometry.polygon` runs the same canonicalisation over the same
+H-representation, which is what makes the two backends **bit-identical**
+(same vertex bytes, same order) rather than merely close.
 """
 
 from __future__ import annotations
@@ -16,7 +26,13 @@ from scipy.spatial import HalfspaceIntersection, QhullError
 
 from repro.exceptions import DegeneratePolytopeError, EmptyRegionError
 from repro.geometry.chebyshev import chebyshev_center
+from repro.geometry.counters import geometry_counters
 from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+#: Minimum |determinant| (= |sin| of the facet angle for unit normals) for a
+#: facet pair to be preferred when snapping a 2-D vertex onto its defining
+#: facets.  Pairs below this are nearly parallel and numerically unreliable.
+_DET_MIN = 1e-9
 
 
 def deduplicate_points(points: np.ndarray, tol: Tolerance = DEFAULT_TOL) -> np.ndarray:
@@ -37,6 +53,80 @@ def deduplicate_points(points: np.ndarray, tol: Tolerance = DEFAULT_TOL) -> np.n
             seen.add(key)
             keep_rows.append(i)
     return points[keep_rows]
+
+
+def canonicalize_polygon_vertices(
+    A: np.ndarray,
+    b: np.ndarray,
+    vertices: np.ndarray,
+    tol: Tolerance = DEFAULT_TOL,
+) -> np.ndarray:
+    """Canonical form of a 2-D vertex set: facet-snapped, deduplicated, lexsorted.
+
+    Each vertex is recomputed as the exact intersection of two of its tight
+    facets (rows of ``A x <= b`` it lies on, under the same tightness rule as
+    :func:`vertex_facet_incidence`), via a fixed-order Cramer solve.  The
+    facet pair is chosen deterministically: the lexicographically smallest
+    tight pair whose normals are not nearly parallel (``|det| >= 1e-9``),
+    falling back to the maximum-``|det|`` pair.  Vertices with fewer than two
+    tight facets (or an all-parallel tight set) keep their input coordinates.
+
+    The snapped vertices are sorted in descending lexicographic order (by
+    first coordinate, then second) and then deduplicated, so the output is
+    independent of the *producer* of the approximate input coordinates.  Both vertex-enumeration
+    backends — qhull halfspace intersection and the closed-form polygon
+    clipper — finish with this function on the same ``(A, b)``, which makes
+    their outputs bit-identical: identical facet pairs fed through identical
+    arithmetic, in identical order.
+
+    The fixed Cramer evaluation order (products before differences, one
+    division by the determinant) also guarantees that the *same* facet pair
+    with both rows negated — a split's complement halfspace — yields the same
+    bits, so vertices on a cut edge hash identically in both children (which
+    is what keeps the :class:`~repro.core.scorecache.VertexScoreMemo` hit
+    rate high across siblings).
+    """
+    vertices = np.atleast_2d(np.asarray(vertices, dtype=float))
+    if vertices.size == 0:
+        return vertices.reshape(0, 2)
+    A = np.asarray(A, dtype=float)
+    b = np.asarray(b, dtype=float)
+    slack = np.abs(b[None, :] - vertices @ A.T)
+    scale = np.maximum(1.0, np.abs(b))[None, :]
+    tight = slack <= tol.dedup * scale
+    snapped = vertices.copy()
+    for row in range(vertices.shape[0]):
+        facets = np.flatnonzero(tight[row])
+        if facets.size < 2:
+            continue
+        chosen = None
+        fallback = None
+        fallback_det = 0.0
+        for ii in range(facets.size):
+            i = facets[ii]
+            for jj in range(ii + 1, facets.size):
+                j = facets[jj]
+                det = A[i, 0] * A[j, 1] - A[i, 1] * A[j, 0]
+                if abs(det) >= _DET_MIN:
+                    chosen = (i, j, det)
+                    break
+                if abs(det) > abs(fallback_det):
+                    fallback = (i, j, det)
+                    fallback_det = det
+            if chosen is not None:
+                break
+        if chosen is None:
+            chosen = fallback
+        if chosen is None:
+            continue
+        i, j, det = chosen
+        # `+ 0.0` maps -0.0 to +0.0: a negated facet pair (a split's
+        # complement halfspace) negates numerator and determinant alike, so
+        # the quotient is bit-identical except for the sign of zero.
+        snapped[row, 0] = (b[i] * A[j, 1] - b[j] * A[i, 1]) / det + 0.0
+        snapped[row, 1] = (A[i, 0] * b[j] - A[j, 0] * b[i]) / det + 0.0
+    order = np.lexsort((snapped[:, 1], snapped[:, 0]))[::-1]
+    return deduplicate_points(snapped[order], tol=tol)
 
 
 def _enumerate_1d(A: np.ndarray, b: np.ndarray, tol: Tolerance) -> np.ndarray:
@@ -102,12 +192,15 @@ def enumerate_vertices(
         interior_point = center
 
     halfspaces = np.hstack([A, -b[:, None]])
+    geometry_counters.n_qhull_calls += 1
     try:
         hs = HalfspaceIntersection(halfspaces, np.asarray(interior_point, dtype=float))
     except QhullError as exc:  # pragma: no cover - depends on qhull internals
         raise DegeneratePolytopeError(f"qhull failed on halfspace intersection: {exc}") from exc
     vertices = np.asarray(hs.intersections, dtype=float)
     vertices = vertices[np.all(np.isfinite(vertices), axis=1)]
+    if dim == 2:
+        return canonicalize_polygon_vertices(A, b, vertices, tol=tol)
     return deduplicate_points(vertices, tol=tol)
 
 

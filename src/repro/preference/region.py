@@ -12,6 +12,14 @@ test-and-split, also the intermediate sub-regions ``wR_i``.  It wraps a
 * splitting by a scoring hyperplane ``wHP(p_i, p_j)``, preserving the paper's
   facet-based representation semantics (shared splitting facet, vertices on
   the hyperplane belong to both children).
+
+The geometry itself runs on the backend the wrapped polytope was built with
+(see :mod:`repro.geometry.polytope`): for 2-D preference spaces — ``d = 3``
+attributes, the dominant case in the paper's experiments — the exact polygon
+backend answers every split, emptiness test and vertex enumeration in closed
+form with zero LP/qhull calls.  Split children inherit the parent's backend,
+so choosing it at region construction (``backend=`` or
+:func:`repro.geometry.polytope.use_backend`) fixes it for a whole solve.
 """
 
 from __future__ import annotations
@@ -63,11 +71,15 @@ class PreferenceRegion:
         cls,
         intervals: Sequence[Tuple[float, float]],
         tol: Tolerance = DEFAULT_TOL,
+        backend: Optional[str] = None,
     ) -> "PreferenceRegion":
         """Axis-aligned box ``[lo_1, hi_1] x ... x [lo_{d-1}, hi_{d-1}]`` in reduced space.
 
         This is the region shape used throughout the paper's experiments
         (``wR`` is an axis-aligned hyper-cube of side length ``sigma``).
+        ``backend`` optionally overrides the geometry backend
+        (``"auto"``/``"qhull"``/``"polygon"``, see
+        :mod:`repro.geometry.polytope`); split children inherit it.
         """
         lower = np.array([interval[0] for interval in intervals], dtype=float)
         upper = np.array([interval[1] for interval in intervals], dtype=float)
@@ -79,20 +91,31 @@ class PreferenceRegion:
             raise InvalidParameterError(
                 "hyperrectangle lies outside the weight simplex (sum of lower bounds > 1)"
             )
-        polytope = ConvexPolytope.from_box(lower, upper, tol=tol)
+        polytope = ConvexPolytope.from_box(lower, upper, tol=tol, backend=backend)
         return cls(polytope, n_attributes=lower.shape[0] + 1, tol=tol)
 
     @classmethod
-    def interval(cls, low: float, high: float, tol: Tolerance = DEFAULT_TOL) -> "PreferenceRegion":
+    def interval(
+        cls,
+        low: float,
+        high: float,
+        tol: Tolerance = DEFAULT_TOL,
+        backend: Optional[str] = None,
+    ) -> "PreferenceRegion":
         """The 1-D preference region ``[low, high]`` for 2-attribute datasets."""
-        return cls.hyperrectangle([(low, high)], tol=tol)
+        return cls.hyperrectangle([(low, high)], tol=tol, backend=backend)
 
     @classmethod
-    def full_simplex(cls, n_attributes: int, tol: Tolerance = DEFAULT_TOL) -> "PreferenceRegion":
+    def full_simplex(
+        cls,
+        n_attributes: int,
+        tol: Tolerance = DEFAULT_TOL,
+        backend: Optional[str] = None,
+    ) -> "PreferenceRegion":
         """The entire valid preference space for ``n_attributes`` attributes."""
         space = PreferenceSpace(n_attributes)
         A, b = space.simplex_constraints()
-        return cls(ConvexPolytope(A, b, tol=tol), n_attributes=n_attributes, tol=tol)
+        return cls(ConvexPolytope(A, b, tol=tol, backend=backend), n_attributes=n_attributes, tol=tol)
 
     @classmethod
     def from_halfspaces(
@@ -100,9 +123,10 @@ class PreferenceRegion:
         halfspaces: Iterable[Halfspace],
         n_attributes: Optional[int] = None,
         tol: Tolerance = DEFAULT_TOL,
+        backend: Optional[str] = None,
     ) -> "PreferenceRegion":
         """Region bounded by an explicit collection of preference halfspaces."""
-        polytope = ConvexPolytope.from_halfspaces(halfspaces, tol=tol)
+        polytope = ConvexPolytope.from_halfspaces(halfspaces, tol=tol, backend=backend)
         return cls(polytope, n_attributes=n_attributes, tol=tol)
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,133 @@
+"""Solver-level parity of the polygon geometry backend.
+
+The exact 2-D backend replaces the solvers' innermost geometric primitive
+(split / emptiness / vertex enumeration), so the guarantee it must give is
+end-to-end: for ``d = 3`` datasets (2-D preference space) every solver run
+on the polygon backend must produce **bit-identical** ``V_all`` — and
+identical split/region/vertex counters — to the LP/qhull path, while
+reporting **zero** LP and qhull calls in :class:`~repro.core.stats.SolverStats`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pac import PACSolver
+from repro.core.stats import SolverStats
+from repro.core.tas import TASSolver
+from repro.core.tas_star import TASStarSolver
+from repro.data.generators import generate_anticorrelated, generate_independent
+from repro.engine import TopRREngine
+from repro.engine.fingerprint import region_fingerprint
+from repro.geometry.polytope import use_backend
+from repro.preference.region import PreferenceRegion
+
+#: Stats fields that legitimately differ between backends (the geometry
+#: call mix and timing), plus the incremental-path cache counters.
+BACKEND_FIELDS = {"n_lp_calls", "n_qhull_calls", "n_clip_calls", "seconds"}
+
+INTERVALS = [(0.3, 0.38), (0.3, 0.38)]
+
+
+def _regions():
+    """The same region built on the polygon (auto) and the qhull backend."""
+    polygon_region = PreferenceRegion.hyperrectangle(INTERVALS)
+    with use_backend("qhull"):
+        qhull_region = PreferenceRegion.hyperrectangle(INTERVALS)
+    assert polygon_region.polytope.backend == "polygon"
+    assert qhull_region.polytope.backend == "qhull"
+    return polygon_region, qhull_region
+
+
+def _solve(solver_cls, dataset, k, region, **kwargs):
+    solver = solver_cls(rng=5, **kwargs)
+    stats = SolverStats()
+    vall = solver.partition(dataset, k, region, stats=stats)
+    return vall, stats
+
+
+def _comparable(stats: SolverStats) -> dict:
+    return {
+        key: value
+        for key, value in stats.as_dict().items()
+        if key not in BACKEND_FIELDS
+    }
+
+
+class TestSolverParity:
+    """`V_all` and solve statistics must not depend on the geometry backend."""
+
+    @pytest.mark.parametrize("solver_cls", [TASStarSolver, TASSolver, PACSolver])
+    @pytest.mark.parametrize("generator", [generate_independent, generate_anticorrelated])
+    def test_vall_bit_identical_and_zero_lp(self, solver_cls, generator):
+        dataset = generator(1500, 3, rng=1)
+        polygon_region, qhull_region = _regions()
+        vall_polygon, stats_polygon = _solve(solver_cls, dataset, 5, polygon_region)
+        vall_qhull, stats_qhull = _solve(solver_cls, dataset, 5, qhull_region)
+
+        assert np.array_equal(vall_polygon, vall_qhull)
+        assert _comparable(stats_polygon) == _comparable(stats_qhull)
+
+        # The tentpole claim: geometry without a single LP or qhull call.
+        assert stats_polygon.n_lp_calls == 0
+        assert stats_polygon.n_qhull_calls == 0
+        assert stats_polygon.n_clip_calls > 0
+        # ... which the reference arm pays per region.
+        assert stats_qhull.n_lp_calls >= stats_qhull.n_regions_tested
+
+    @pytest.mark.parametrize("use_k_switch", [False, True])
+    def test_strategies_and_ablations(self, use_k_switch):
+        dataset = generate_anticorrelated(800, 3, rng=3)
+        for use_lemma7 in (False, True):
+            polygon_region, qhull_region = _regions()
+            vall_polygon, _ = _solve(
+                TASStarSolver,
+                dataset,
+                4,
+                polygon_region,
+                use_k_switch=use_k_switch,
+                use_lemma7=use_lemma7,
+            )
+            vall_qhull, _ = _solve(
+                TASStarSolver,
+                dataset,
+                4,
+                qhull_region,
+                use_k_switch=use_k_switch,
+                use_lemma7=use_lemma7,
+            )
+            assert np.array_equal(vall_polygon, vall_qhull)
+
+    def test_incremental_off_also_matches(self):
+        dataset = generate_independent(1200, 3, rng=7)
+        polygon_region, qhull_region = _regions()
+        vall_polygon, _ = _solve(
+            TASStarSolver, dataset, 5, polygon_region, incremental=False
+        )
+        vall_qhull, _ = _solve(TASStarSolver, dataset, 5, qhull_region, incremental=False)
+        assert np.array_equal(vall_polygon, vall_qhull)
+
+
+class TestEngineIntegration:
+    """The query engine is backend-transparent, including its cache keys."""
+
+    def test_fingerprints_are_backend_independent(self):
+        polygon_region, qhull_region = _regions()
+        assert region_fingerprint(polygon_region) == region_fingerprint(qhull_region)
+
+    def test_engine_results_match_across_backends(self):
+        dataset = generate_independent(1500, 3, rng=2)
+        polygon_region, qhull_region = _regions()
+        engine = TopRREngine(dataset)
+        result_polygon = engine.query(5, polygon_region)
+        # Same fingerprint: the qhull-built region must hit the result cache.
+        result_again = engine.query(5, qhull_region)
+        assert result_again is result_polygon
+
+        with use_backend("qhull"):
+            reference_engine = TopRREngine(dataset)
+            result_qhull = reference_engine.query(5, qhull_region)
+        assert np.array_equal(
+            result_polygon.vertices_reduced, result_qhull.vertices_reduced
+        )
+        assert result_polygon.stats.n_lp_calls == 0
+        assert result_qhull.stats.n_lp_calls > 0
