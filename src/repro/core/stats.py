@@ -62,13 +62,16 @@ class SolverStats:
     n_lp_calls:
         ``scipy.optimize.linprog`` round trips performed by the geometry
         layer during the solve (Chebyshev centres / feasibility tests).
-        Zero when the exact 2-D polygon backend answers every region.
+        Zero when a closed-form backend (2-D polygon for ``d = 3``, 3-D
+        polyhedron for ``d = 4``) answers every region.
     n_qhull_calls:
         qhull halfspace intersections performed during the solve (vertex
-        enumeration on the generic path).  Zero under the polygon backend.
+        enumeration on the generic path).  Zero under the closed-form
+        backends.
     n_clip_calls:
-        Closed-form polygon clipping passes performed during the solve (one
-        per halfspace clip or hyperplane cut on the polygon backend).
+        Closed-form clipping passes performed during the solve (one per
+        halfspace clip or hyperplane cut on the polygon / polyhedron
+        backends).
     seconds:
         Wall-clock time of the solve (filtering included unless noted).
     extra:

@@ -22,8 +22,8 @@ precomputes the filter for an anticipated query mix.
 vertices, rounded to 10 decimals and lexicographically sorted.  Two region
 objects describing the same polytope therefore share cache entries even
 when their halfspace representations differ (redundant constraints, row
-order) or when they were built on different geometry backends (2-D vertices
-are canonical across backends, see :mod:`repro.geometry.polytope`).  The
+order) or when they were built on different geometry backends (2-D and 3-D
+vertices are canonical across backends, see :mod:`repro.geometry.polytope`).  The
 r-skyband cache is keyed by ``(k, fingerprint)`` and shared across solver
 methods; the result cache adds the method name: ``(k, fingerprint, method)``.
 Both are bounded LRUs (:class:`~repro.engine.cache.LRUCache`): inserting

@@ -3,12 +3,13 @@
 A preference region is fingerprinted by its defining vertices (rounded and
 lexicographically sorted), so two regions describing the same polytope hash
 identically even when their halfspace representations differ (e.g. one
-carries redundant constraints).  Because 2-D vertex enumeration is
+carries redundant constraints).  Because 2-D and 3-D vertex enumeration is
 *canonical* across geometry backends (facet-snapped coordinates in a fixed
-order — see :func:`repro.geometry.vertex_enum.canonicalize_polygon_vertices`),
+order — see :func:`repro.geometry.vertex_enum.canonicalize_polygon_vertices`
+and :func:`repro.geometry.vertex_enum.canonicalize_polyhedron_vertices`),
 fingerprints are also backend-independent: a region built under
-``use_backend("qhull")`` hits cache entries populated by the polygon
-backend and vice versa.  Datasets are fingerprinted by identity plus
+``use_backend("qhull")`` hits cache entries populated by the polygon or
+polyhedron backend and vice versa.  Datasets are fingerprinted by identity plus
 shape — engines are bound to one dataset, so this only guards against
 accidental cross-engine key reuse.
 """

@@ -7,13 +7,15 @@ facet/vertex/halfspace representation of Section 4.2.2, LP helpers
 intersection, polytope volume, and the quadratic-programming placement
 solvers used for cost-optimal option creation and enhancement.
 
-Two interchangeable backends implement the polytope primitives (see
-:mod:`repro.geometry.polytope`): the generic LP/qhull path, and an exact 2-D
-polygon path (:mod:`repro.geometry.polygon`) — closed-form Sutherland–Hodgman
-clipping with no ``linprog`` and no qhull calls — that is auto-selected for
-two-dimensional bodies, the dominant case in the paper's experiments.  The
-per-thread :data:`~repro.geometry.counters.geometry_counters` make the
-elimination observable (they feed the ``n_lp_calls`` / ``n_qhull_calls`` /
+Three interchangeable backends implement the polytope primitives (see
+:mod:`repro.geometry.polytope`): the generic LP/qhull path, an exact 2-D
+polygon path (:mod:`repro.geometry.polygon`) and an exact 3-D polyhedron
+path (:mod:`repro.geometry.polyhedron`) — closed-form Sutherland–Hodgman
+clipping with no ``linprog`` and no qhull calls — auto-selected for two-
+and three-dimensional bodies, the paper's two experimental settings
+(``d = 3`` and ``d = 4`` attributes).  The per-thread
+:data:`~repro.geometry.counters.geometry_counters` make the elimination
+observable (they feed the ``n_lp_calls`` / ``n_qhull_calls`` /
 ``n_clip_calls`` fields of :class:`~repro.core.stats.SolverStats`).
 """
 
@@ -26,9 +28,13 @@ from repro.geometry.polytope import (
     use_backend,
 )
 from repro.geometry.polygon import Polygon, polygon_from_halfspaces
+from repro.geometry.polyhedron import Polyhedron, polyhedron_from_halfspaces
 from repro.geometry.chebyshev import chebyshev_center, chebyshev_centre, is_feasible
 from repro.geometry.counters import geometry_counters
-from repro.geometry.vertex_enum import canonicalize_polygon_vertices
+from repro.geometry.vertex_enum import (
+    canonicalize_polygon_vertices,
+    canonicalize_polyhedron_vertices,
+)
 from repro.geometry.qp import minimize_quadratic_cost, project_point_onto_polytope
 
 __all__ = [
@@ -36,8 +42,11 @@ __all__ = [
     "Halfspace",
     "ConvexPolytope",
     "Polygon",
+    "Polyhedron",
     "polygon_from_halfspaces",
+    "polyhedron_from_halfspaces",
     "canonicalize_polygon_vertices",
+    "canonicalize_polyhedron_vertices",
     "default_backend",
     "set_default_backend",
     "use_backend",

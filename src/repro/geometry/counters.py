@@ -1,17 +1,19 @@
 """Thread-local counters for the expensive geometry primitives.
 
 The tentpole question of the geometry backend work is *observable
-elimination*: with the exact 2-D polygon backend selected, a solve must
-perform **zero** `scipy.optimize.linprog` round trips and **zero** qhull
-halfspace intersections, replacing both with closed-form polygon clipping.
-The only way to assert that from a test (or to report it from
-:class:`~repro.core.stats.SolverStats`) is to count the calls at the source.
+elimination*: with an exact closed-form backend selected (2-D polygon or
+3-D polyhedron), a solve must perform **zero** `scipy.optimize.linprog`
+round trips and **zero** qhull halfspace intersections, replacing both with
+closed-form clipping.  The only way to assert that from a test (or to
+report it from :class:`~repro.core.stats.SolverStats`) is to count the
+calls at the source.
 
 Every LP solve (:func:`repro.geometry.chebyshev.chebyshev_center`,
 :func:`~repro.geometry.chebyshev.maximize_linear`), every qhull halfspace
 intersection (:func:`repro.geometry.vertex_enum.enumerate_vertices`) and
-every polygon clipping pass (:mod:`repro.geometry.polygon`) increments the
-process-wide :data:`geometry_counters`.  The counters are ``threading.local``
+every clipping pass (:mod:`repro.geometry.polygon`,
+:mod:`repro.geometry.polyhedron`) increments the process-wide
+:data:`geometry_counters`.  The counters are ``threading.local``
 so that concurrent solves (e.g. :meth:`TopRREngine.query_batch` with the
 thread executor) each observe their own deltas; solvers snapshot the counters
 around their region loop and record the difference into ``SolverStats``.
@@ -43,8 +45,9 @@ class GeometryCounters(threading.local):
         qhull halfspace intersections (general-dimension vertex
         enumeration).
     n_clip_calls:
-        Closed-form polygon clipping passes (one per halfspace clip; a
-        polygon *cut* — one pass emitting both children — also counts one).
+        Closed-form clipping passes, polygon or polyhedron (one per
+        halfspace clip; a *cut* — one pass emitting both children — also
+        counts one).
     """
 
     def __init__(self):

@@ -14,7 +14,7 @@ parent's facets, adds the splitting hyperplane as a new facet on each child,
 and re-enumerates vertices.  Children whose Chebyshev radius is below
 tolerance are reported as empty.
 
-Two interchangeable **geometry backends** implement the primitives:
+Three interchangeable **geometry backends** implement the primitives:
 
 ``"qhull"``
     The general-dimension path: Chebyshev centre / feasibility via a scipy
@@ -27,15 +27,26 @@ Two interchangeable **geometry backends** implement the primitives:
     pass that both children inherit, and centre/radius/emptiness come from
     a closed-form facet-triple enumeration.  **No LP, no qhull.**
 
-``backend="auto"`` (the default) selects ``"polygon"`` for 2-D bodies — the
-dominant case in the paper's experiments (``d = 3`` attributes) — and
-``"qhull"`` otherwise.  Both backends finish vertex output with the same
-canonicalisation (:func:`~repro.geometry.vertex_enum.canonicalize_polygon_vertices`),
+``"polyhedron"``
+    The exact 3-D path (:mod:`repro.geometry.polyhedron`): the body is a
+    vertex array plus facet→vertex-ring faces; splitting is one closed-form
+    clip pass over the face rings in which both children share the cut
+    facet, and centre/radius/emptiness come from a closed-form facet
+    4-tuple enumeration.  **No LP, no qhull.**
+
+``backend="auto"`` (the default) selects ``"polygon"`` for 2-D bodies and
+``"polyhedron"`` for 3-D bodies — the paper's two experimental settings
+(``d = 3`` / ``d = 4`` attributes) — and ``"qhull"`` otherwise.  All
+backends finish vertex output with the same canonicalisation
+(:func:`~repro.geometry.vertex_enum.canonicalize_polygon_vertices` /
+:func:`~repro.geometry.vertex_enum.canonicalize_polyhedron_vertices`),
 so their vertices are bit-identical and in the same canonical order; the
-parity suites in ``tests/test_geometry_polygon.py`` and
-``tests/test_polygon_backend.py`` pin this down to solver-level ``V_all``
-equality.  Use :func:`use_backend` (or a ``backend=`` override) to force the
-LP/qhull path, e.g. for parity testing and benchmarking.
+parity suites in ``tests/test_geometry_polygon.py``,
+``tests/test_polygon_backend.py``, ``tests/test_geometry_polyhedron.py``,
+``tests/test_polyhedron_backend.py`` and the cross-backend fuzz harness
+``tests/test_backend_differential.py`` pin this down to solver-level
+``V_all`` equality.  Use :func:`use_backend` (or a ``backend=`` override)
+to force the LP/qhull path, e.g. for parity testing and benchmarking.
 """
 
 from __future__ import annotations
@@ -51,8 +62,14 @@ from repro.geometry.chebyshev import chebyshev_center, maximize_linear
 from repro.geometry.halfspace import Halfspace
 from repro.geometry.hyperplane import Hyperplane
 from repro.geometry.polygon import Polygon, polygon_chebyshev, polygon_from_halfspaces
+from repro.geometry.polyhedron import (
+    Polyhedron,
+    polyhedron_chebyshev,
+    polyhedron_from_halfspaces,
+)
 from repro.geometry.vertex_enum import (
     canonicalize_polygon_vertices,
+    canonicalize_polyhedron_vertices,
     deduplicate_points,
     enumerate_vertices,
     vertex_facet_incidence,
@@ -60,7 +77,7 @@ from repro.geometry.vertex_enum import (
 from repro.utils.tolerance import DEFAULT_TOL, Tolerance
 
 #: Backend specifications accepted by :class:`ConvexPolytope`.
-BACKENDS = ("auto", "qhull", "polygon")
+BACKENDS = ("auto", "qhull", "polygon", "polyhedron")
 
 #: Module-wide default backend specification (see :func:`set_default_backend`).
 _DEFAULT_BACKEND = "auto"
@@ -72,7 +89,7 @@ def default_backend() -> str:
 
 
 def set_default_backend(backend: str) -> None:
-    """Set the module-wide backend specification (``"auto"``/``"qhull"``/``"polygon"``).
+    """Set the module-wide backend specification (one of :data:`BACKENDS`).
 
     Applies to polytopes constructed *afterwards* without an explicit
     ``backend=`` argument; existing polytopes keep (and propagate to their
@@ -125,8 +142,9 @@ class ConvexPolytope:
         Tolerance bundle used by all geometric predicates on this polytope.
     backend:
         Geometry backend specification: ``"auto"`` (default; the exact
-        polygon backend for 2-D bodies, LP/qhull otherwise), ``"qhull"``, or
-        ``"polygon"``.  ``None`` uses the module default
+        polygon backend for 2-D bodies, the exact polyhedron backend for
+        3-D bodies, LP/qhull otherwise), ``"qhull"``, ``"polygon"``, or
+        ``"polyhedron"``.  ``None`` uses the module default
         (:func:`set_default_backend`).  Derived polytopes (intersections,
         split children) inherit the parent's specification.
     polygon:
@@ -134,6 +152,12 @@ class ConvexPolytope:
         consistent with ``(A, b)`` (edge labels indexing its rows), handed
         down by the parent on incremental clips.  Ignored unless the polygon
         backend is active.
+    polyhedron:
+        Internal: the 3-D analogue — a pre-clipped
+        :class:`~repro.geometry.polyhedron.Polyhedron` consistent with
+        ``(A, b)`` (face labels indexing its rows), handed down by the
+        parent on incremental clips.  Ignored unless the polyhedron backend
+        is active.
     """
 
     def __init__(
@@ -144,6 +168,7 @@ class ConvexPolytope:
         tol: Tolerance = DEFAULT_TOL,
         backend: Optional[str] = None,
         polygon: Optional[Polygon] = None,
+        polyhedron: Optional[Polyhedron] = None,
     ):
         A = np.atleast_2d(np.asarray(A, dtype=float))
         b = np.asarray(b, dtype=float).ravel()
@@ -176,9 +201,17 @@ class ConvexPolytope:
         self._use_polygon = backend == "polygon" or (
             backend == "auto" and A.shape[1] == 2
         )
+        self._use_polyhedron = backend == "polyhedron" or (
+            backend == "auto" and A.shape[1] == 3
+        )
         if self._use_polygon and A.shape[1] != 2:
             raise ValueError("the polygon backend requires a 2-D polytope")
+        if self._use_polyhedron and A.shape[1] != 3:
+            raise ValueError("the polyhedron backend requires a 3-D polytope")
         self._polygon: Optional[Polygon] = polygon if (self._use_polygon and np.all(keep)) else None
+        self._polyhedron: Optional[Polyhedron] = (
+            polyhedron if (self._use_polyhedron and np.all(keep)) else None
+        )
         self._vertices = None if vertices is None else np.asarray(vertices, dtype=float)
         self._chebyshev: Optional[Tuple[Optional[np.ndarray], float]] = None
         self._incidence: Optional[np.ndarray] = None
@@ -247,8 +280,12 @@ class ConvexPolytope:
 
     @property
     def backend(self) -> str:
-        """The geometry backend in effect: ``"polygon"`` or ``"qhull"``."""
-        return "polygon" if self._use_polygon else "qhull"
+        """The geometry backend in effect: ``"polygon"``, ``"polyhedron"`` or ``"qhull"``."""
+        if self._use_polygon:
+            return "polygon"
+        if self._use_polyhedron:
+            return "polyhedron"
+        return "qhull"
 
     def _ensure_polygon(self) -> Polygon:
         """The backing polygon, built from ``(A, b)`` by clipping if needed."""
@@ -256,12 +293,22 @@ class ConvexPolytope:
             self._polygon = polygon_from_halfspaces(self._A, self._b, tol=self._tol)
         return self._polygon
 
+    def _ensure_polyhedron(self) -> Polyhedron:
+        """The backing polyhedron, built from ``(A, b)`` by clipping if needed."""
+        if self._polyhedron is None:
+            self._polyhedron = polyhedron_from_halfspaces(self._A, self._b, tol=self._tol)
+        return self._polyhedron
+
     def _cheb(self) -> Tuple[Optional[np.ndarray], float]:
         """Cached ``(centre, radius)`` from the active backend."""
         if self._chebyshev is None:
             if self._use_polygon:
                 self._chebyshev = polygon_chebyshev(
                     self._A, self._b, self._ensure_polygon(), tol=self._tol
+                )
+            elif self._use_polyhedron:
+                self._chebyshev = polyhedron_chebyshev(
+                    self._A, self._b, self._ensure_polyhedron(), tol=self._tol
                 )
             else:
                 self._chebyshev = chebyshev_center(self._A, self._b)
@@ -300,9 +347,10 @@ class ConvexPolytope:
     def vertices(self) -> np.ndarray:
         """Defining vertices as an ``(m, d)`` array (enumerated lazily).
 
-        For 2-D bodies the vertices are *canonical* regardless of backend:
-        facet-snapped coordinates in lexicographic order (see
-        :func:`~repro.geometry.vertex_enum.canonicalize_polygon_vertices`).
+        For 2-D and 3-D bodies the vertices are *canonical* regardless of
+        backend: facet-snapped coordinates in lexicographic order (see
+        :func:`~repro.geometry.vertex_enum.canonicalize_polygon_vertices`
+        and :func:`~repro.geometry.vertex_enum.canonicalize_polyhedron_vertices`).
         """
         if self._vertices is None:
             center, radius = self._cheb()
@@ -316,10 +364,14 @@ class ConvexPolytope:
                 self._vertices = canonicalize_polygon_vertices(
                     self._A, self._b, self._ensure_polygon().points, tol=self._tol
                 )
+            elif self._use_polyhedron and not self._ensure_polyhedron().touches_bound():
+                self._vertices = canonicalize_polyhedron_vertices(
+                    self._A, self._b, self._ensure_polyhedron().points, tol=self._tol
+                )
             else:
                 # Generic path: qhull halfspace intersection (also the
-                # fallback for unbounded 2-D H-representations, where the
-                # clipped polygon still touches the safety box).
+                # fallback for unbounded 2-D/3-D H-representations, where
+                # the clipped body still touches the safety box).
                 self._vertices = enumerate_vertices(
                     self._A, self._b, interior_point=None if self.dimension == 1 else center,
                     tol=self._tol,
@@ -362,8 +414,11 @@ class ConvexPolytope:
         """Euclidean volume of the polytope (0.0 for empty or degenerate bodies).
 
         The polygon backend answers with the shoelace area of its ordered
-        vertex list; the generic path builds a qhull convex hull.
+        vertex list, the polyhedron backend with a closed-form fan of
+        face-pyramids; the generic path builds a qhull convex hull.
         """
+        if self._use_polyhedron and not self._ensure_polyhedron().touches_bound():
+            return self._ensure_polyhedron().volume()
         if self._use_polygon and not self._ensure_polygon().touches_bound():
             try:
                 verts = self.vertices
@@ -405,15 +460,18 @@ class ConvexPolytope:
     def support(self, direction: Sequence[float]) -> Tuple[np.ndarray, float]:
         """Maximise ``direction . x`` over the polytope.
 
-        The polygon backend evaluates the direction on the (closed-form)
-        vertex set; the generic path solves an LP.
+        The closed-form backends evaluate the direction on the vertex set;
+        the generic path solves an LP.
         """
         direction = np.asarray(direction, dtype=float)
-        if self._use_polygon and not self._ensure_polygon().touches_bound():
+        closed_form = (self._use_polygon and not self._ensure_polygon().touches_bound()) or (
+            self._use_polyhedron and not self._ensure_polyhedron().touches_bound()
+        )
+        if closed_form:
             try:
                 verts = self.vertices
             except DegeneratePolytopeError:
-                verts = np.empty((0, 2))
+                verts = np.empty((0, self.dimension))
             if verts.shape[0]:
                 values = verts @ direction
                 best = int(np.argmax(values))
@@ -426,20 +484,26 @@ class ConvexPolytope:
     def intersect_halfspace(self, halfspace: Halfspace) -> "ConvexPolytope":
         """Intersect with a single halfspace, returning a new polytope.
 
-        Under the polygon backend the child does **not** start from scratch:
-        it inherits this polytope's ordered vertex list clipped by one
-        Sutherland–Hodgman pass, and the new facet is labelled with its row
-        index in the child's H-representation.
+        Under the closed-form backends the child does **not** start from
+        scratch: it inherits this polytope's clipped vertex structure (one
+        Sutherland–Hodgman pass), and the new facet is labelled with its
+        row index in the child's H-representation.
         """
         A = np.vstack([self._A, halfspace.normal[None, :]])
         b = np.concatenate([self._b, [halfspace.offset]])
         polygon = None
+        polyhedron = None
         if self._use_polygon:
             polygon = self._ensure_polygon().clip(
                 halfspace.normal, halfspace.offset, label=self._A.shape[0], tol=self._tol
             )
+        elif self._use_polyhedron:
+            polyhedron = self._ensure_polyhedron().clip(
+                halfspace.normal, halfspace.offset, label=self._A.shape[0], tol=self._tol
+            )
         return ConvexPolytope(
-            A, b, tol=self._tol, backend=self._backend_spec, polygon=polygon
+            A, b, tol=self._tol, backend=self._backend_spec, polygon=polygon,
+            polyhedron=polyhedron,
         )
 
     def intersect_halfspaces(self, halfspaces: Iterable[Halfspace]) -> "ConvexPolytope":
@@ -453,12 +517,14 @@ class ConvexPolytope:
                 tol=self._tol,
                 backend=self._backend_spec,
                 polygon=self._polygon,
+                polyhedron=self._polyhedron,
             )
         extra_A = np.vstack([h.normal for h in halfspaces])
         extra_b = np.array([h.offset for h in halfspaces], dtype=float)
         A = np.vstack([self._A, extra_A])
         b = np.concatenate([self._b, extra_b])
         polygon = None
+        polyhedron = None
         if self._use_polygon:
             polygon = self._ensure_polygon()
             for index, halfspace in enumerate(halfspaces):
@@ -470,8 +536,20 @@ class ConvexPolytope:
                 )
                 if polygon.is_empty():
                     break
+        elif self._use_polyhedron:
+            polyhedron = self._ensure_polyhedron()
+            for index, halfspace in enumerate(halfspaces):
+                polyhedron = polyhedron.clip(
+                    halfspace.normal,
+                    halfspace.offset,
+                    label=self._A.shape[0] + index,
+                    tol=self._tol,
+                )
+                if polyhedron.is_empty():
+                    break
         return ConvexPolytope(
-            A, b, tol=self._tol, backend=self._backend_spec, polygon=polygon
+            A, b, tol=self._tol, backend=self._backend_spec, polygon=polygon,
+            polyhedron=polyhedron,
         )
 
     def split(self, hyperplane: Hyperplane) -> Tuple["ConvexPolytope", "ConvexPolytope"]:
@@ -481,15 +559,17 @@ class ConvexPolytope:
         (or lower-dimensional) when the hyperplane only grazes the polytope;
         callers should check :meth:`is_full_dimensional`.
 
-        Under the polygon backend this is the *incremental cut*: one
-        classification pass over the parent's ordered vertex list emits both
-        children, which share the cut edge (same label, same crossing-point
-        bytes) — no LP and no re-enumeration.
+        Under the closed-form backends this is the *incremental cut*: one
+        classification pass over the parent's vertex structure emits both
+        children, which share the cut edge/facet (same label, same
+        crossing-point bytes) — no LP and no re-enumeration.
         """
         below_halfspace = Halfspace.from_hyperplane(hyperplane)
         above_halfspace = Halfspace(-hyperplane.normal, -hyperplane.offset, normalize=False)
-        if self._use_polygon:
-            below_polygon, above_polygon = self._ensure_polygon().cut(
+        if self._use_polygon or self._use_polyhedron:
+            kind = "polygon" if self._use_polygon else "polyhedron"
+            body = self._ensure_polygon() if self._use_polygon else self._ensure_polyhedron()
+            below_body, above_body = body.cut(
                 hyperplane.normal, hyperplane.offset, label=self._A.shape[0], tol=self._tol
             )
             below = ConvexPolytope(
@@ -497,14 +577,14 @@ class ConvexPolytope:
                 np.concatenate([self._b, [below_halfspace.offset]]),
                 tol=self._tol,
                 backend=self._backend_spec,
-                polygon=below_polygon,
+                **{kind: below_body},
             )
             above = ConvexPolytope(
                 np.vstack([self._A, above_halfspace.normal[None, :]]),
                 np.concatenate([self._b, [above_halfspace.offset]]),
                 tol=self._tol,
                 backend=self._backend_spec,
-                polygon=above_polygon,
+                **{kind: above_body},
             )
             return below, above
         below = self.intersect_halfspace(below_halfspace)
@@ -541,14 +621,25 @@ class ConvexPolytope:
         if np.all(keep):
             return self
         polygon = None
+        polyhedron = None
+        new_index = np.cumsum(keep) - 1
         if self._use_polygon and self._polygon is not None:
             # Re-index the polygon's edge labels to the surviving rows.  Edge
             # labels always refer to facets tight at two vertices, so they
             # are never dropped; synthetic (negative) labels pass through.
-            new_index = np.cumsum(keep) - 1
             labels = self._polygon.edge_labels
             remapped = np.where(labels >= 0, new_index[np.clip(labels, 0, None)], labels)
             polygon = Polygon(self._polygon.points, remapped)
+        elif self._use_polyhedron and self._polyhedron is not None:
+            # Same re-indexing for face labels (tight at >= 3 vertices, so
+            # never dropped); synthetic safety-cube labels pass through.
+            polyhedron = Polyhedron(
+                self._polyhedron.points,
+                [
+                    (ring, int(new_index[label]) if label >= 0 else label)
+                    for ring, label in self._polyhedron.faces
+                ],
+            )
         return ConvexPolytope(
             self._A[keep],
             self._b[keep],
@@ -556,6 +647,7 @@ class ConvexPolytope:
             tol=self._tol,
             backend=self._backend_spec,
             polygon=polygon,
+            polyhedron=polyhedron,
         )
 
     def sample(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:

@@ -6,19 +6,21 @@ implementation calls the qhull library.  A dedicated 1-D fast path covers the
 interval polytopes that arise for 2-attribute datasets (where the preference
 space is one-dimensional, as in the paper's running example).
 
-For two-dimensional polytopes — the overwhelmingly common case in the
-paper's experiments, where ``d = 3`` attributes give a 2-D preference space
-— every enumerated vertex is additionally *canonicalised* by
-:func:`canonicalize_polygon_vertices`: its coordinates are recomputed in
-closed form from its two tight facets and the result is returned in a fixed
-lexicographic order.  The closed-form polygon backend of
-:mod:`repro.geometry.polygon` runs the same canonicalisation over the same
-H-representation, which is what makes the two backends **bit-identical**
+For two- and three-dimensional polytopes — the paper's experimental
+settings, where ``d = 3`` / ``d = 4`` attributes give a 2-D / 3-D preference
+space — every enumerated vertex is additionally *canonicalised* by
+:func:`canonicalize_polygon_vertices` / :func:`canonicalize_polyhedron_vertices`:
+its coordinates are recomputed in closed form from its two (three) tight
+facets and the result is returned in a fixed lexicographic order.  The
+closed-form backends of :mod:`repro.geometry.polygon` and
+:mod:`repro.geometry.polyhedron` run the same canonicalisation over the same
+H-representation, which is what makes the backends **bit-identical**
 (same vertex bytes, same order) rather than merely close.
 """
 
 from __future__ import annotations
 
+from itertools import combinations
 from typing import Optional, Tuple
 
 import numpy as np
@@ -129,6 +131,98 @@ def canonicalize_polygon_vertices(
     return deduplicate_points(snapped[order], tol=tol)
 
 
+def _det3(r0: np.ndarray, r1: np.ndarray, r2: np.ndarray) -> float:
+    """``3 x 3`` determinant by cofactor expansion in a fixed evaluation order.
+
+    Every term carries exactly one factor from each row, so negating one
+    full row negates the result *bit-exactly* (IEEE negation and the
+    symmetric rounding of ``a - b`` versus ``b - a`` are both exact) — the
+    property :func:`canonicalize_polyhedron_vertices` relies on for split
+    complement halfspaces.
+    """
+    return (
+        r0[0] * (r1[1] * r2[2] - r1[2] * r2[1])
+        - r0[1] * (r1[0] * r2[2] - r1[2] * r2[0])
+        + r0[2] * (r1[0] * r2[1] - r1[1] * r2[0])
+    )
+
+
+def canonicalize_polyhedron_vertices(
+    A: np.ndarray,
+    b: np.ndarray,
+    vertices: np.ndarray,
+    tol: Tolerance = DEFAULT_TOL,
+) -> np.ndarray:
+    """Canonical form of a 3-D vertex set: facet-snapped, deduplicated, lexsorted.
+
+    The three-dimensional sibling of :func:`canonicalize_polygon_vertices`,
+    with the same contract: each vertex is recomputed as the exact
+    intersection of three of its tight facets via a fixed-order ``3 x 3``
+    Cramer solve.  The facet triple is chosen deterministically — the
+    lexicographically smallest tight triple whose normal matrix is not
+    nearly singular (``|det| >= 1e-9``), falling back to the
+    maximum-``|det|`` triple — and vertices with fewer than three tight
+    facets (or an all-singular tight set) keep their input coordinates.
+
+    The snapped vertices are sorted in descending lexicographic order and
+    deduplicated, so the output depends only on ``(A, b)`` and the tight
+    sets, never on the producer of the approximate input coordinates.  Both
+    vertex-enumeration backends — qhull halfspace intersection and the
+    closed-form polyhedron clipper — finish with this function on the same
+    ``(A, b)``, which makes their outputs bit-identical.  As in 2-D, the
+    fixed Cramer evaluation order guarantees that the same facet triple
+    with one row negated (a split's complement halfspace) yields the same
+    bits, so vertices on a cut facet hash identically in both children —
+    which is what keeps the :class:`~repro.core.scorecache.VertexScoreMemo`
+    hit rate high across siblings at ``d = 4``.
+    """
+    vertices = np.atleast_2d(np.asarray(vertices, dtype=float))
+    if vertices.size == 0:
+        return vertices.reshape(0, 3)
+    A = np.asarray(A, dtype=float)
+    b = np.asarray(b, dtype=float)
+    slack = np.abs(b[None, :] - vertices @ A.T)
+    scale = np.maximum(1.0, np.abs(b))[None, :]
+    tight = slack <= tol.dedup * scale
+    snapped = vertices.copy()
+    for row in range(vertices.shape[0]):
+        facets = np.flatnonzero(tight[row])
+        if facets.size < 3:
+            continue
+        chosen = None
+        fallback = None
+        fallback_det = 0.0
+        for i, j, k in combinations(facets.tolist(), 3):
+            det = _det3(A[i], A[j], A[k])
+            if abs(det) >= _DET_MIN:
+                chosen = (i, j, k, det)
+                break
+            if abs(det) > abs(fallback_det):
+                fallback = (i, j, k, det)
+                fallback_det = det
+        if chosen is None:
+            chosen = fallback
+        if chosen is None:
+            continue
+        i, j, k, det = chosen
+        # Cramer's rule, one column of the normal matrix replaced by b per
+        # coordinate; `+ 0.0` maps -0.0 to +0.0 (see the 2-D version).
+        bi = np.array([b[i], A[i, 1], A[i, 2]])
+        bj = np.array([b[j], A[j, 1], A[j, 2]])
+        bk = np.array([b[k], A[k, 1], A[k, 2]])
+        snapped[row, 0] = _det3(bi, bj, bk) / det + 0.0
+        bi = np.array([A[i, 0], b[i], A[i, 2]])
+        bj = np.array([A[j, 0], b[j], A[j, 2]])
+        bk = np.array([A[k, 0], b[k], A[k, 2]])
+        snapped[row, 1] = _det3(bi, bj, bk) / det + 0.0
+        bi = np.array([A[i, 0], A[i, 1], b[i]])
+        bj = np.array([A[j, 0], A[j, 1], b[j]])
+        bk = np.array([A[k, 0], A[k, 1], b[k]])
+        snapped[row, 2] = _det3(bi, bj, bk) / det + 0.0
+    order = np.lexsort((snapped[:, 2], snapped[:, 1], snapped[:, 0]))[::-1]
+    return deduplicate_points(snapped[order], tol=tol)
+
+
 def _enumerate_1d(A: np.ndarray, b: np.ndarray, tol: Tolerance) -> np.ndarray:
     """Vertex enumeration for 1-D polytopes (closed intervals)."""
     lower = -np.inf
@@ -201,6 +295,8 @@ def enumerate_vertices(
     vertices = vertices[np.all(np.isfinite(vertices), axis=1)]
     if dim == 2:
         return canonicalize_polygon_vertices(A, b, vertices, tol=tol)
+    if dim == 3:
+        return canonicalize_polyhedron_vertices(A, b, vertices, tol=tol)
     return deduplicate_points(vertices, tol=tol)
 
 

@@ -14,12 +14,13 @@ test-and-split, also the intermediate sub-regions ``wR_i``.  It wraps a
   the hyperplane belong to both children).
 
 The geometry itself runs on the backend the wrapped polytope was built with
-(see :mod:`repro.geometry.polytope`): for 2-D preference spaces — ``d = 3``
-attributes, the dominant case in the paper's experiments — the exact polygon
-backend answers every split, emptiness test and vertex enumeration in closed
-form with zero LP/qhull calls.  Split children inherit the parent's backend,
-so choosing it at region construction (``backend=`` or
-:func:`repro.geometry.polytope.use_backend`) fixes it for a whole solve.
+(see :mod:`repro.geometry.polytope`): for 2-D and 3-D preference spaces —
+``d = 3`` / ``d = 4`` attributes, the paper's two experimental settings —
+the exact polygon / polyhedron backends answer every split, emptiness test
+and vertex enumeration in closed form with zero LP/qhull calls.  Split
+children inherit the parent's backend, so choosing it at region
+construction (``backend=`` or :func:`repro.geometry.polytope.use_backend`)
+fixes it for a whole solve.
 """
 
 from __future__ import annotations

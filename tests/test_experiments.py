@@ -158,6 +158,7 @@ class TestFigureRunners:
         rows = figure14_kswitch("k", Scale.SMOKE)
         assert all("k_switch_enabled" in row and "k_switch_disabled" in row for row in rows)
 
+    @pytest.mark.slow  # elongated-region TAS* sweeps dominate the suite's wall clock
     def test_table7_rows(self):
         rows = table7_elongation(Scale.SMOKE)
         gammas = sweep_values("gamma", Scale.SMOKE)

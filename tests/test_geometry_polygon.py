@@ -90,7 +90,9 @@ class TestBackendParity:
         square = ConvexPolytope.from_box([0.0, 0.0], [1.0, 1.0])
         assert square.backend == "polygon"
         cube = ConvexPolytope.from_box([0.0] * 3, [1.0] * 3)
-        assert cube.backend == "qhull"
+        assert cube.backend == "polyhedron"
+        tesseract = ConvexPolytope.from_box([0.0] * 4, [1.0] * 4)
+        assert tesseract.backend == "qhull"
 
     def test_split_children_share_cut_vertex_bytes(self):
         square = ConvexPolytope.from_box([0.0, 0.0], [1.0, 1.0], backend="polygon")
@@ -237,19 +239,46 @@ class TestPolygonPrimitives:
 
 
 class TestChebyshevSpelling:
-    """`chebyshev_center` is canonical; the British spelling is deprecated."""
+    """`chebyshev_center` is canonical; the British spelling is deprecated.
+
+    Both deprecated aliases (the module function and the
+    :class:`ConvexPolytope` property) must actually *emit* a
+    ``DeprecationWarning`` naming the replacement, and must return exactly
+    — to the byte — what the canonical spelling returns.
+    """
 
     def test_function_alias_warns_and_agrees(self):
         A = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
         b = np.array([1.0, 0.0, 1.0, 0.0])
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(DeprecationWarning, match="use chebyshev_center"):
             alias_center, alias_radius = chebyshev_centre(A, b)
         center, radius = chebyshev_center(A, b)
-        assert np.allclose(alias_center, center)
+        assert alias_center.tobytes() == center.tobytes()
         assert alias_radius == radius
 
-    def test_property_alias_warns_and_agrees(self):
-        square = ConvexPolytope.from_box([0.0, 0.0], [1.0, 1.0])
+    def test_function_alias_forwards_keyword_arguments(self):
+        A = np.array([[1.0, 0.0]])
+        b = np.array([0.5])
         with pytest.warns(DeprecationWarning):
+            _center, alias_radius = chebyshev_centre(A, b, bound=10.0)
+        _c, radius = chebyshev_center(A, b, bound=10.0)
+        assert alias_radius == radius == pytest.approx(10.0)
+
+    @pytest.mark.parametrize("backend", ["polygon", "qhull"])
+    def test_property_alias_warns_and_agrees(self, backend):
+        square = ConvexPolytope.from_box([0.0, 0.0], [1.0, 1.0], backend=backend)
+        with pytest.warns(DeprecationWarning, match="use chebyshev_center"):
             alias = square.chebyshev_centre
-        assert np.allclose(alias, square.chebyshev_center)
+        assert alias.tobytes() == square.chebyshev_center.tobytes()
+
+    def test_aliases_are_silent_when_unused(self, recwarn):
+        square = ConvexPolytope.from_box([0.0, 0.0], [1.0, 1.0])
+        _ = square.chebyshev_center
+        _c, _r = chebyshev_center(np.array([[1.0, 0.0]]), np.array([0.5]))
+        deprecations = [w for w in recwarn.list if issubclass(w.category, DeprecationWarning)]
+        assert not deprecations
+
+    def test_alias_still_importable_from_package_root(self):
+        from repro.geometry import chebyshev_centre as root_alias
+
+        assert root_alias is chebyshev_centre

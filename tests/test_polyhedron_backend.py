@@ -1,10 +1,11 @@
-"""Solver-level parity of the polygon geometry backend.
+"""Solver-level parity of the polyhedron geometry backend.
 
-The exact 2-D backend replaces the solvers' innermost geometric primitive
-(split / emptiness / vertex enumeration), so the guarantee it must give is
-end-to-end: for ``d = 3`` datasets (2-D preference space) every solver run
-on the polygon backend must produce **bit-identical** ``V_all`` — and
-identical split/region/vertex counters — to the LP/qhull path, while
+The exact 3-D backend replaces the solvers' innermost geometric primitive
+(split / emptiness / vertex enumeration) for ``d = 4`` datasets (3-D
+preference space) — the paper's second headline setting.  Mirroring
+``tests/test_polygon_backend.py``, the guarantee is end-to-end: every solver
+run on the polyhedron backend must produce **bit-identical** ``V_all`` —
+and identical split/region/vertex counters — to the LP/qhull path, while
 reporting **zero** LP and qhull calls in :class:`~repro.core.stats.SolverStats`.
 """
 
@@ -25,17 +26,17 @@ from repro.preference.region import PreferenceRegion
 #: call mix and timing), plus the incremental-path cache counters.
 BACKEND_FIELDS = {"n_lp_calls", "n_qhull_calls", "n_clip_calls", "seconds"}
 
-INTERVALS = [(0.3, 0.38), (0.3, 0.38)]
+INTERVALS = [(0.22, 0.27), (0.22, 0.27), (0.22, 0.27)]
 
 
 def _regions():
-    """The same region built on the polygon (auto) and the qhull backend."""
-    polygon_region = PreferenceRegion.hyperrectangle(INTERVALS)
+    """The same d=4 region built on the polyhedron (auto) and the qhull backend."""
+    polyhedron_region = PreferenceRegion.hyperrectangle(INTERVALS)
     with use_backend("qhull"):
         qhull_region = PreferenceRegion.hyperrectangle(INTERVALS)
-    assert polygon_region.polytope.backend == "polygon"
+    assert polyhedron_region.polytope.backend == "polyhedron"
     assert qhull_region.polytope.backend == "qhull"
-    return polygon_region, qhull_region
+    return polyhedron_region, qhull_region
 
 
 def _solve(solver_cls, dataset, k, region, **kwargs):
@@ -59,32 +60,32 @@ class TestSolverParity:
     @pytest.mark.parametrize("solver_cls", [TASStarSolver, TASSolver, PACSolver])
     @pytest.mark.parametrize("generator", [generate_independent, generate_anticorrelated])
     def test_vall_bit_identical_and_zero_lp(self, solver_cls, generator):
-        dataset = generator(1500, 3, rng=1)
-        polygon_region, qhull_region = _regions()
-        vall_polygon, stats_polygon = _solve(solver_cls, dataset, 5, polygon_region)
+        dataset = generator(1200, 4, rng=1)
+        polyhedron_region, qhull_region = _regions()
+        vall_polyhedron, stats_polyhedron = _solve(solver_cls, dataset, 5, polyhedron_region)
         vall_qhull, stats_qhull = _solve(solver_cls, dataset, 5, qhull_region)
 
-        assert np.array_equal(vall_polygon, vall_qhull)
-        assert _comparable(stats_polygon) == _comparable(stats_qhull)
+        assert np.array_equal(vall_polyhedron, vall_qhull)
+        assert _comparable(stats_polyhedron) == _comparable(stats_qhull)
 
-        # The tentpole claim: geometry without a single LP or qhull call.
-        assert stats_polygon.n_lp_calls == 0
-        assert stats_polygon.n_qhull_calls == 0
-        assert stats_polygon.n_clip_calls > 0
+        # The tentpole claim: d=4 geometry without a single LP or qhull call.
+        assert stats_polyhedron.n_lp_calls == 0
+        assert stats_polyhedron.n_qhull_calls == 0
+        assert stats_polyhedron.n_clip_calls > 0
         # ... which the reference arm pays per region.
         assert stats_qhull.n_lp_calls >= stats_qhull.n_regions_tested
 
     @pytest.mark.slow
     @pytest.mark.parametrize("use_k_switch", [False, True])
     def test_strategies_and_ablations(self, use_k_switch):
-        dataset = generate_anticorrelated(800, 3, rng=3)
+        dataset = generate_anticorrelated(500, 4, rng=3)
         for use_lemma7 in (False, True):
-            polygon_region, qhull_region = _regions()
-            vall_polygon, _ = _solve(
+            polyhedron_region, qhull_region = _regions()
+            vall_polyhedron, _ = _solve(
                 TASStarSolver,
                 dataset,
                 4,
-                polygon_region,
+                polyhedron_region,
                 use_k_switch=use_k_switch,
                 use_lemma7=use_lemma7,
             )
@@ -96,39 +97,51 @@ class TestSolverParity:
                 use_k_switch=use_k_switch,
                 use_lemma7=use_lemma7,
             )
-            assert np.array_equal(vall_polygon, vall_qhull)
+            assert np.array_equal(vall_polyhedron, vall_qhull)
 
     def test_incremental_off_also_matches(self):
-        dataset = generate_independent(1200, 3, rng=7)
-        polygon_region, qhull_region = _regions()
-        vall_polygon, _ = _solve(
-            TASStarSolver, dataset, 5, polygon_region, incremental=False
+        dataset = generate_independent(1000, 4, rng=7)
+        polyhedron_region, qhull_region = _regions()
+        vall_polyhedron, _ = _solve(
+            TASStarSolver, dataset, 5, polyhedron_region, incremental=False
         )
         vall_qhull, _ = _solve(TASStarSolver, dataset, 5, qhull_region, incremental=False)
-        assert np.array_equal(vall_polygon, vall_qhull)
+        assert np.array_equal(vall_polyhedron, vall_qhull)
+
+    def test_memo_hit_rate_carries_over(self):
+        # Canonical vertex bytes are shared across split siblings, so the
+        # vertex-score memo keeps its hit rate on the polyhedron backend.
+        dataset = generate_independent(1200, 4, rng=9)
+        polyhedron_region, qhull_region = _regions()
+        _vall_p, stats_p = _solve(TASStarSolver, dataset, 6, polyhedron_region)
+        _vall_q, stats_q = _solve(TASStarSolver, dataset, 6, qhull_region)
+        assert stats_p.vertex_cache_hit_rate == pytest.approx(stats_q.vertex_cache_hit_rate)
+        if stats_p.n_splits >= 5:
+            assert stats_p.vertex_cache_hit_rate > 0.5
 
 
 class TestEngineIntegration:
-    """The query engine is backend-transparent, including its cache keys."""
+    """The query engine is backend-transparent at d=4, including cache keys."""
 
     def test_fingerprints_are_backend_independent(self):
-        polygon_region, qhull_region = _regions()
-        assert region_fingerprint(polygon_region) == region_fingerprint(qhull_region)
+        polyhedron_region, qhull_region = _regions()
+        assert region_fingerprint(polyhedron_region) == region_fingerprint(qhull_region)
 
     def test_engine_results_match_across_backends(self):
-        dataset = generate_independent(1500, 3, rng=2)
-        polygon_region, qhull_region = _regions()
+        dataset = generate_independent(1200, 4, rng=2)
+        polyhedron_region, qhull_region = _regions()
         engine = TopRREngine(dataset)
-        result_polygon = engine.query(5, polygon_region)
+        result_polyhedron = engine.query(5, polyhedron_region)
         # Same fingerprint: the qhull-built region must hit the result cache.
         result_again = engine.query(5, qhull_region)
-        assert result_again is result_polygon
+        assert result_again is result_polyhedron
 
         with use_backend("qhull"):
             reference_engine = TopRREngine(dataset)
             result_qhull = reference_engine.query(5, qhull_region)
         assert np.array_equal(
-            result_polygon.vertices_reduced, result_qhull.vertices_reduced
+            result_polyhedron.vertices_reduced, result_qhull.vertices_reduced
         )
-        assert result_polygon.stats.n_lp_calls == 0
+        assert result_polyhedron.stats.n_lp_calls == 0
+        assert result_polyhedron.stats.n_qhull_calls == 0
         assert result_qhull.stats.n_lp_calls > 0

@@ -52,6 +52,7 @@ class TestSolverAgreement:
 
 
 class TestSolverOrdering:
+    @pytest.mark.slow
     def test_tas_star_never_produces_more_vertices(self):
         dataset = generate_independent(2_000, 4, rng=31)
         region = random_hypercube_region(4, 0.05, rng=32)
@@ -62,6 +63,7 @@ class TestSolverOrdering:
         assert star.stats.n_splits <= plain.stats.n_splits
         assert star.n_vertices <= pac.n_vertices
 
+    @pytest.mark.slow
     def test_ablation_lemma7_reduces_vertices(self):
         dataset = generate_independent(2_000, 4, rng=41)
         region = random_hypercube_region(4, 0.05, rng=42)
@@ -69,6 +71,7 @@ class TestSolverOrdering:
         disabled = solve_toprr(dataset, 10, region, method=TASStarSolver(use_lemma7=False))
         assert enabled.n_vertices <= disabled.n_vertices
 
+    @pytest.mark.slow
     def test_ablation_k_switch_reduces_vertices(self):
         dataset = generate_independent(2_000, 4, rng=51)
         region = random_hypercube_region(4, 0.05, rng=52)
