@@ -29,7 +29,7 @@ from typing import Optional, Sequence
 from repro.core.placement import cheapest_new_option
 from repro.core.toprr import solve_toprr
 from repro.data.generators import generate_synthetic
-from repro.engine import TopRREngine
+from repro.engine import ShardedEngine, TopRREngine
 from repro.exceptions import InvalidParameterError
 from repro.experiments.ablations import ABLATIONS, run_ablation
 from repro.experiments.config import Scale
@@ -65,6 +65,23 @@ def _build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--distribution", default="IND", help="IND | COR | ANTI")
     solve.add_argument("--method", default="tas*", help="tas* | tas | pac")
     solve.add_argument("--seed", type=int, default=7, help="random seed")
+    solve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard the r-skyband pre-filter over N disjoint option partitions "
+        "(process-parallel, bit-identical result; default: unsharded)",
+    )
+    solve.add_argument(
+        "--shard-strategy",
+        default="contiguous",
+        help="contiguous | hash (default: contiguous); only with --shards",
+    )
+    solve.add_argument(
+        "--shard-executor",
+        default="process",
+        help="process | serial (default: process); only with --shards",
+    )
 
     batch = sub.add_parser(
         "batch",
@@ -81,7 +98,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--distinct", type=int, default=10, help="distinct (k, region) pairs in the mix"
     )
     batch.add_argument(
-        "--executor", default="serial", help="serial | thread | process (default: serial)"
+        "--executor",
+        default="serial",
+        help="serial | thread | process (default: serial); fans out across queries, "
+        "but the solve is CPU-bound Python, so 'thread' mostly overlaps cache "
+        "lookups rather than scaling it — for CPU-bound scaling on one large "
+        "catalogue use --shards, which parallelises inside each query",
+    )
+    batch.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve through the sharded engine: the r-skyband pre-filter runs "
+        "process-parallel over N option shards per query (ignores --executor)",
+    )
+    batch.add_argument(
+        "--shard-strategy",
+        default="contiguous",
+        help="contiguous | hash (default: contiguous); only with --shards",
     )
     batch.add_argument("--seed", type=int, default=7, help="random seed")
 
@@ -114,8 +148,22 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_solve(args: argparse.Namespace) -> int:
     dataset = generate_synthetic(args.distribution, args.n, args.d, rng=args.seed)
     region = random_hypercube_region(args.d, args.sigma, rng=args.seed + 1)
-    result = solve_toprr(dataset, args.k, region, method=args.method)
+    result = solve_toprr(
+        dataset,
+        args.k,
+        region,
+        method=args.method,
+        shards=args.shards,
+        shard_strategy=args.shard_strategy,
+        shard_executor=args.shard_executor,
+    )
     print(format_table([result.summary()], title="TopRR result"))
+    if args.shards:
+        print(
+            f"\nsharded pre-filter: {result.stats.n_shards} shards "
+            f"({args.shard_strategy}, executor={args.shard_executor}), "
+            f"merge {result.stats.merge_seconds * 1000:.2f} ms"
+        )
     if not result.is_empty():
         placement = cheapest_new_option(result)
         values = ", ".join(f"{v:.4f}" for v in placement.option)
@@ -140,21 +188,40 @@ def _command_batch(args: argparse.Namespace) -> int:
     ]
     queries = [pairs[i % distinct] for i in range(args.queries)]
 
-    engine = TopRREngine(dataset, method=args.method, rng=args.seed)
+    if args.shards:
+        engine = ShardedEngine(
+            dataset,
+            n_shards=args.shards,
+            strategy=args.shard_strategy,
+            method=args.method,
+            rng=args.seed,
+        )
+        label = f"shards={engine.n_shards}x{args.shard_strategy}"
+    else:
+        engine = TopRREngine(dataset, method=args.method, rng=args.seed)
+        label = f"executor={args.executor}"
     start = time.perf_counter()
     try:
-        results = engine.query_batch(queries, executor=args.executor)
+        if args.shards:
+            results = engine.query_batch(queries)
+        else:
+            results = engine.query_batch(queries, executor=args.executor)
     except InvalidParameterError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if args.shards:
+            engine.close()
     seconds = time.perf_counter() - start
 
     rows = [results[i].summary() for i in range(distinct)]
     print(format_table(rows, title=f"engine batch ({args.queries} queries, {distinct} distinct)"))
     info = engine.cache_info()
+    if args.shards:
+        info = info["merged"]
     print(
         f"\n{len(results)} queries in {seconds:.2f}s "
-        f"({len(results) / max(seconds, 1e-9):.1f} queries/s, executor={args.executor})"
+        f"({len(results) / max(seconds, 1e-9):.1f} queries/s, {label})"
     )
     print(f"result cache: {info['results']}")
     print(f"r-skyband cache: {info['skyband']}")

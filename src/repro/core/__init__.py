@@ -24,6 +24,10 @@
 * :mod:`repro.core.sampled` — the inexact sampling baseline of Section 2.1.
 * :mod:`repro.core.parallel` — parallel solving over a chopped ``wR``
   (future-work direction of Section 7).
+* :mod:`repro.core.sharded` — option-space sharded solving: the r-skyband
+  pre-filter decomposed over disjoint option shards (process-parallel
+  against shared-memory score matrices) with exact cross-shard
+  reconciliation.
 * :mod:`repro.core.precompute` — per-dataset pre-computation for repeated
   queries (future-work direction of Section 7).
 """
@@ -37,6 +41,7 @@ from repro.core.verify import verify_result_by_sampling
 from repro.core.composite import constrain_result, solve_toprr_union
 from repro.core.sampled import evaluate_sampled_exactness, sampled_toprr
 from repro.core.parallel import solve_toprr_parallel
+from repro.core.sharded import sharded_r_skyband, solve_toprr_sharded
 from repro.core.precompute import PrecomputedTopRR
 from repro.core.serialization import load_result, save_result
 
@@ -55,6 +60,8 @@ __all__ = [
     "sampled_toprr",
     "evaluate_sampled_exactness",
     "solve_toprr_parallel",
+    "solve_toprr_sharded",
+    "sharded_r_skyband",
     "PrecomputedTopRR",
     "save_result",
     "load_result",

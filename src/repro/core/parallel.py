@@ -17,12 +17,15 @@ environments where spawning processes is undesirable and for testing.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.impact import build_impact_region
+from repro.core.kipr import WorkingSet
+from repro.core.scorecache import VertexScoreMemo
 from repro.core.stats import SolverStats
 from repro.core.tas_star import TASStarSolver
 from repro.core.toprr import TopRRResult
@@ -38,6 +41,9 @@ from repro.utils.tolerance import DEFAULT_TOL, Tolerance
 #: Executor labels accepted by :func:`solve_toprr_parallel`.
 EXECUTORS = ("process", "thread", "serial")
 
+#: One warning per process about degenerate chops (tests reset this flag).
+_degenerate_split_warned = False
+
 
 def split_region_into_boxes(region: PreferenceRegion, n_pieces: int) -> List[PreferenceRegion]:
     """Chop a preference region into ``n_pieces`` boxes along its widest axes.
@@ -47,7 +53,16 @@ def split_region_into_boxes(region: PreferenceRegion, n_pieces: int) -> List[Pre
     too thin to split further).  Pieces are full-fledged
     :class:`PreferenceRegion` objects, so any solver can process them
     independently.
+
+    Degenerate regions (every axis extent at or below the 1e-9 split floor,
+    e.g. a near-point ``wR``) cannot be chopped and yield fewer pieces than
+    requested — possibly just ``[region]``.  That silently serialises a
+    "parallel" solve, so the first such shortfall in a process emits a
+    :class:`RuntimeWarning`; callers can compare
+    ``stats.extra["n_pieces"]`` against ``n_pieces_requested`` to detect it
+    programmatically.
     """
+    global _degenerate_split_warned
     if n_pieces <= 0:
         raise InvalidParameterError(f"n_pieces must be positive, got {n_pieces}")
     pieces = [region]
@@ -72,7 +87,17 @@ def split_region_into_boxes(region: PreferenceRegion, n_pieces: int) -> List[Pre
             if not child.is_empty() and child.is_full_dimensional():
                 pieces.append(child)
         if not pieces:
-            return [region]
+            pieces = [region]
+            break
+    if len(pieces) < n_pieces and not _degenerate_split_warned:
+        _degenerate_split_warned = True
+        warnings.warn(
+            f"split_region_into_boxes produced {len(pieces)} piece(s) instead of the "
+            f"requested {n_pieces}: the region is too thin to chop further, so a "
+            "parallel solve degrades toward serial execution (warning once per process)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return pieces
 
 
@@ -81,18 +106,31 @@ def _partition_piece(
     k: int,
     piece: PreferenceRegion,
     solver_kwargs: dict,
+    working: Optional[WorkingSet] = None,
+    score_memo: Optional[VertexScoreMemo] = None,
 ) -> Tuple[np.ndarray, dict]:
     """Worker: run TAS* on one piece and return its vertex set and counters.
 
     Module-level so that it can be pickled by the process executor.
+    ``working`` is the prebuilt root working set (sliced affine form shared
+    by all pieces); ``score_memo`` a vertex-score memo bound to it.  The memo
+    holds a lock and cannot cross a process boundary, so process workers
+    receive ``None`` and let the solver resolve a worker-local one.
     """
     solver = TASStarSolver(**solver_kwargs)
     stats = SolverStats()
-    vertices = solver.partition(filtered, k, piece, stats=stats)
+    vertices = solver.partition(
+        filtered, k, piece, stats=stats, working=working, score_memo=score_memo
+    )
     return vertices, {
         "n_regions_tested": stats.n_regions_tested,
         "n_splits": stats.n_splits,
         "n_vertices": stats.n_vertices,
+        "n_score_rows_computed": stats.n_score_rows_computed,
+        "n_score_rows_reused": stats.n_score_rows_reused,
+        "n_score_batches": stats.n_score_batches,
+        "n_order_rows_computed": stats.n_order_rows_computed,
+        "n_order_rows_reused": stats.n_order_rows_reused,
     }
 
 
@@ -105,6 +143,7 @@ def solve_toprr_parallel(
     executor: str = "process",
     prefilter: bool = True,
     clip_to_unit_box: bool = True,
+    incremental: bool = True,
     rng: int = 0,
     tol: Tolerance = DEFAULT_TOL,
 ) -> TopRRResult:
@@ -124,6 +163,16 @@ def solve_toprr_parallel(
         ``"serial"`` (in-process loop; useful for testing and debugging).
     prefilter, clip_to_unit_box, rng, tol:
         As in :func:`repro.core.toprr.solve_toprr`.
+    incremental:
+        Route each piece through the incremental split-tree vertex-score
+        memo, as the sequential solver does by default.  The root working
+        set is built once and shared by all pieces; the serial and thread
+        executors additionally share one memo across pieces (it is
+        thread-safe), so a vertex on the boundary between two pieces is
+        scored once.  Process workers build their own memo — the memo's
+        lock cannot cross the process boundary — but still reuse rows along
+        their piece's split tree.  The score/order counters of
+        :class:`~repro.core.stats.SolverStats` are aggregated over pieces.
     """
     if k <= 0:
         raise InvalidParameterError(f"k must be positive, got {k}")
@@ -145,18 +194,36 @@ def solve_toprr_parallel(
         filtered = dataset
     stats.n_filtered_options = filtered.n_options
 
-    pieces = split_region_into_boxes(region, n_pieces or 2 * n_workers)
-    solver_kwargs = {"rng": rng, "tol": tol}
+    n_pieces_requested = n_pieces or 2 * n_workers
+    pieces = split_region_into_boxes(region, n_pieces_requested)
+    solver_kwargs = {"rng": rng, "tol": tol, "incremental": incremental}
+
+    # One root working set for all pieces: the affine score form is computed
+    # once here instead of once per piece (and once per worker under the
+    # process executor — WorkingSet is plain arrays, so it pickles cleanly).
+    root_working = WorkingSet.from_dataset(filtered, k)
+    shared_memo = VertexScoreMemo.for_working(root_working) if incremental else None
 
     piece_outputs: List[Tuple[np.ndarray, dict]] = []
     if executor == "serial" or len(pieces) == 1:
         for piece in pieces:
-            piece_outputs.append(_partition_piece(filtered, k, piece, solver_kwargs))
-    else:
-        pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
-        with pool_cls(max_workers=n_workers) as pool:
+            piece_outputs.append(
+                _partition_piece(filtered, k, piece, solver_kwargs, root_working, shared_memo)
+            )
+    elif executor == "thread":
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
             futures = [
-                pool.submit(_partition_piece, filtered, k, piece, solver_kwargs)
+                pool.submit(
+                    _partition_piece, filtered, k, piece, solver_kwargs, root_working, shared_memo
+                )
+                for piece in pieces
+            ]
+            piece_outputs = [future.result() for future in futures]
+    else:
+        # The memo embeds a lock and stays home; workers resolve their own.
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(_partition_piece, filtered, k, piece, solver_kwargs, root_working)
                 for piece in pieces
             ]
             piece_outputs = [future.result() for future in futures]
@@ -166,6 +233,11 @@ def solve_toprr_parallel(
     for _vertices, counters in piece_outputs:
         stats.n_regions_tested += counters["n_regions_tested"]
         stats.n_splits += counters["n_splits"]
+        stats.n_score_rows_computed += counters["n_score_rows_computed"]
+        stats.n_score_rows_reused += counters["n_score_rows_reused"]
+        stats.n_score_batches += counters["n_score_batches"]
+        stats.n_order_rows_computed += counters["n_order_rows_computed"]
+        stats.n_order_rows_reused += counters["n_order_rows_reused"]
 
     polytope, full_weights, thresholds = build_impact_region(
         filtered, vall, k, clip_to_unit_box=clip_to_unit_box, tol=tol
@@ -173,6 +245,7 @@ def solve_toprr_parallel(
     stats.seconds = timer.stop()
     stats.n_vertices = int(vall.shape[0])
     stats.extra["n_pieces"] = len(pieces)
+    stats.extra["n_pieces_requested"] = int(n_pieces_requested)
     stats.extra["n_workers"] = int(n_workers)
     stats.extra["executor"] = executor
 

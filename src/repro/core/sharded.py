@@ -1,0 +1,240 @@
+"""Option-space sharded TopRR solving (the path to 10M+ option catalogues).
+
+The region-parallel scheme of :mod:`repro.core.parallel` chops the
+*preference region*; this module chops the *option set*.  The observation
+that makes it exact is that the r-skyband — the pre-filter every solver runs
+first, and the stage whose cost grows with the catalogue size ``n`` — is
+*decomposable over disjoint option shards*:
+
+    For any partition of ``D`` into shards ``D_1, ..., D_s``, the global
+    r-skyband of ``D`` equals the r-skyband of the union of the per-shard
+    r-skybands (dominator counts taken within the union).
+
+*Proof sketch.*  An option in the global r-skyband has fewer than ``k``
+r-dominators in ``D``, hence fewer than ``k`` within its own shard, so it
+survives its shard's filter: the candidate union covers the global skyband.
+Conversely, take ``p`` with at least ``k`` dominators in ``D`` and consider
+the set ``S`` of its dominators.  Any *maximal* element of ``S`` that was
+dropped by its shard has at least ``k`` same-shard dominators, which
+r-dominate ``p`` transitively and dominate the dropped element —
+contradicting maximality — so every maximal dominator survives, and either
+way at least ``k`` members of ``S`` are in the union.  Counting within the
+union therefore reproduces every keep/drop decision of the global filter.
+(The sort-based skyband in :mod:`repro.topk.skyband` relies on the same
+transitivity argument; the differential suite in
+``tests/test_sharded_differential.py`` checks the equality bit-for-bit.)
+
+Concretely, a sharded solve runs in three stages:
+
+1. the coordinator computes the query's **vertex-score matrix** (scores of
+   all ``n`` options at the region's defining vertices) exactly as
+   :func:`repro.pruning.rskyband.r_skyband` would, and publishes it through
+   :class:`~repro.data.sharding.SharedMatrix` — worker processes attach to
+   the same physical pages instead of receiving pickled arrays;
+2. each shard's rows are filtered independently (serially in-process, or one
+   task per shard on a process pool) — this is the ``O(n)``-iteration
+   Python-loop stage that actually parallelises;
+3. the per-shard candidates are merged and the skyband is re-run on the
+   merged rows *of the same score matrix* (:func:`reconcile_candidates`),
+   which by the decomposition above returns exactly the global r-skyband.
+
+Because stage 3 hands the solver the bit-identical filtered dataset, working
+set and RNG the unsharded path would have used, ``V_all`` and the output
+region are bit-identical to :func:`repro.core.toprr.solve_toprr` — sharding
+changes where the filter runs, never what the solver sees.
+
+:func:`solve_toprr_sharded` is the one-shot front end; sessions should hold
+a :class:`repro.engine.sharded.ShardedEngine` (which adds per-shard and
+merged caching) instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.sharding import (
+    SharedMatrix,
+    SharedMatrixSpec,
+    ShardSpec,
+    attach_shared_matrix,
+    plan_shards,
+)
+from repro.preference.region import PreferenceRegion
+from repro.pruning.rskyband import vertex_score_matrix
+from repro.topk.skyband import skyband_of_values
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+#: Executor labels accepted by the sharded path.
+SHARD_EXECUTORS = ("process", "serial")
+
+#: Worker-side cache of attached shared matrices, keyed by segment name.
+#: Each query publishes one segment, so the cache holds (at most) the
+#: current query's matrix; attaching a new segment closes the previous ones.
+_WORKER_MATRICES: Dict[str, SharedMatrix] = {}
+
+
+def _worker_matrix(spec: SharedMatrixSpec) -> SharedMatrix:
+    """Attach (once per segment) to the coordinator's shared score matrix."""
+    matrix = _WORKER_MATRICES.get(spec.name)
+    if matrix is None:
+        for stale in _WORKER_MATRICES.values():
+            stale.close()
+        _WORKER_MATRICES.clear()
+        matrix = attach_shared_matrix(spec)
+        _WORKER_MATRICES[spec.name] = matrix
+    return matrix
+
+
+def shard_skyband(
+    scores: np.ndarray, spec: ShardSpec, k: int, tol: Tolerance = DEFAULT_TOL
+) -> np.ndarray:
+    """Per-shard r-skyband over rows of the full vertex-score matrix.
+
+    Returns the surviving options as ascending *parent* positional indices.
+    Contiguous shards slice the matrix (zero-copy); hash shards gather their
+    rows.  Empty shards (possible when ``n_shards > n``) return an empty
+    index array.
+    """
+    bounds = spec.bounds()
+    if bounds is not None:
+        start, stop = bounds
+        kept_local = skyband_of_values(scores[start:stop], k, tol=tol)
+        return kept_local + start
+    positions = spec.positions()
+    kept_local = skyband_of_values(scores[positions], k, tol=tol)
+    return positions[kept_local]
+
+
+def _shard_filter_task(
+    matrix_spec: SharedMatrixSpec, spec: ShardSpec, k: int, tol: Tolerance
+) -> Tuple[int, np.ndarray, float]:
+    """Process-pool task: filter one shard against the shared score matrix.
+
+    The arguments are metadata only (segment name, shard plan integers);
+    the score matrix itself is read through shared memory.  Returns
+    ``(shard_id, kept parent positions, seconds)``.
+    """
+    started = time.perf_counter()
+    matrix = _worker_matrix(matrix_spec)
+    kept = shard_skyband(matrix.array, spec, k, tol=tol)
+    return spec.shard_id, kept, time.perf_counter() - started
+
+
+def reconcile_candidates(
+    scores: np.ndarray,
+    shard_candidates: Sequence[np.ndarray],
+    k: int,
+    tol: Tolerance = DEFAULT_TOL,
+) -> np.ndarray:
+    """Cross-shard top-k reconciliation: merge per-shard survivors exactly.
+
+    Re-runs the skyband on the candidates' rows of the *same* score matrix
+    the shards filtered against.  Per the decomposition argument in the
+    module docstring this returns exactly the indices
+    :func:`repro.pruning.rskyband.r_skyband` would have returned for the
+    whole dataset — the merge is cheap because the r-skyband keeps
+    per-shard candidate sets small.
+    """
+    arrays = [np.asarray(c, dtype=int) for c in shard_candidates]
+    candidates = np.sort(np.concatenate(arrays)) if arrays else np.empty(0, dtype=int)
+    if candidates.size == 0:
+        return candidates
+    selected = skyband_of_values(scores[candidates], k, tol=tol)
+    return candidates[selected]
+
+
+def sharded_r_skyband(
+    dataset: Dataset,
+    k: int,
+    region: PreferenceRegion,
+    n_shards: int,
+    strategy: str = "contiguous",
+    tol: Tolerance = DEFAULT_TOL,
+) -> np.ndarray:
+    """In-process sharded r-skyband (filter per shard, then reconcile).
+
+    Returns indices identical to :func:`repro.pruning.rskyband.r_skyband`;
+    exists as the serial reference implementation of the sharded filter and
+    for testing the decomposition directly.
+    """
+    scores = vertex_score_matrix(dataset, region)
+    plan = plan_shards(dataset.n_options, n_shards, strategy)
+    candidates = [shard_skyband(scores, spec, k, tol=tol) for spec in plan]
+    return reconcile_candidates(scores, candidates, k, tol=tol)
+
+
+def solve_toprr_sharded(
+    dataset: Dataset,
+    k: int,
+    region: PreferenceRegion,
+    n_shards: int = 4,
+    strategy: str = "contiguous",
+    executor: str = "process",
+    n_workers: Optional[int] = None,
+    method="tas*",
+    clip_to_unit_box: bool = True,
+    option_bounds: Optional[tuple] = None,
+    rng=0,
+    tol: Tolerance = DEFAULT_TOL,
+):
+    """Solve one TopRR instance with the option-space sharded pre-filter.
+
+    Parameters
+    ----------
+    dataset, k, region:
+        The TopRR instance.
+    n_shards:
+        Number of disjoint option partitions.
+    strategy:
+        ``"contiguous"`` (zero-copy row ranges) or ``"hash"`` (splitmix64 of
+        the positional index; decorrelates shards from the row order).
+    executor:
+        ``"process"`` (default) filters one shard per task on a process pool
+        whose workers attach to the shared-memory score matrix; ``"serial"``
+        runs the identical per-shard code in-process (testing, debugging,
+        single-core machines).
+    n_workers:
+        Process-pool size (defaults to ``n_shards`` capped at the CPU count).
+    method, clip_to_unit_box, option_bounds, rng, tol:
+        As in :func:`repro.core.toprr.solve_toprr`.
+
+    Returns
+    -------
+    :class:`~repro.core.toprr.TopRRResult` — bit-identical (``V_all``,
+    thresholds, output region) to the unsharded
+    :func:`~repro.core.toprr.solve_toprr` with the same arguments; the
+    ``stats`` carry the shard counters (``n_shards``, ``merge_seconds``,
+    per-shard timings in ``extra``).
+
+    Notes
+    -----
+    This is a convenience wrapper around a one-shot
+    :class:`repro.engine.sharded.ShardedEngine` with caching disabled;
+    sessions issuing several queries should hold the engine (the process
+    pool, shard plan and caches then amortise across queries).
+    """
+    from repro.engine.sharded import ShardedEngine  # local import: engine builds on this module
+
+    engine = ShardedEngine(
+        dataset,
+        n_shards=n_shards,
+        strategy=strategy,
+        executor=executor,
+        n_workers=n_workers,
+        method=method,
+        clip_to_unit_box=clip_to_unit_box,
+        option_bounds=option_bounds,
+        rng=rng,
+        tol=tol,
+        skyband_cache_size=1,  # one entry: hands the installed filter to the solve
+        result_cache_size=0,
+        shard_cache_size=1,
+    )
+    try:
+        return engine.query(k, region)
+    finally:
+        engine.close()

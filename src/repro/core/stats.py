@@ -72,6 +72,15 @@ class SolverStats:
         Closed-form clipping passes performed during the solve (one per
         halfspace clip or hyperplane cut on the polygon / polyhedron
         backends).
+    n_shards:
+        Number of option-space shards the r-skyband pre-filter ran over
+        (``0`` on the unsharded path).  The sharded path records its
+        per-shard filter timings, candidate counts and executor under the
+        ``shard_*`` keys of :attr:`extra`.
+    merge_seconds:
+        Wall-clock time of the cross-shard top-k reconciliation (merging
+        per-shard candidates back into the exact global r-skyband); ``0``
+        on the unsharded path.
     seconds:
         Wall-clock time of the solve (filtering included unless noted).
     extra:
@@ -97,6 +106,8 @@ class SolverStats:
     n_lp_calls: int = 0
     n_qhull_calls: int = 0
     n_clip_calls: int = 0
+    n_shards: int = 0
+    merge_seconds: float = 0.0
     seconds: float = 0.0
     extra: dict = field(default_factory=dict)
 
@@ -131,6 +142,8 @@ class SolverStats:
             "n_lp_calls": self.n_lp_calls,
             "n_qhull_calls": self.n_qhull_calls,
             "n_clip_calls": self.n_clip_calls,
+            "n_shards": self.n_shards,
+            "merge_seconds": self.merge_seconds,
             "vertex_cache_hit_rate": self.vertex_cache_hit_rate,
             "seconds": self.seconds,
         }

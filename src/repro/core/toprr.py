@@ -177,6 +177,10 @@ def solve_toprr(
     option_bounds: Optional[tuple] = None,
     rng: RngLike = 0,
     tol: Tolerance = DEFAULT_TOL,
+    shards: Optional[int] = None,
+    shard_strategy: str = "contiguous",
+    shard_executor: str = "process",
+    n_workers: Optional[int] = None,
 ) -> TopRRResult:
     """Solve a TopRR instance end to end.
 
@@ -204,6 +208,21 @@ def solve_toprr(
         Seed or generator for the solver's randomised choices.
     tol:
         Numerical tolerance bundle.
+    shards:
+        When set (``>= 1``), run the option-space sharded pre-filter of
+        :func:`repro.core.sharded.solve_toprr_sharded` over this many
+        disjoint option partitions — the result is bit-identical, only the
+        filter stage parallelises.  Requires ``prefilter=True`` (sharding
+        *is* the filter stage).
+    shard_strategy:
+        Shard assignment (``"contiguous"`` or ``"hash"``); ignored without
+        ``shards``.
+    shard_executor:
+        ``"process"`` (shared-memory worker pool) or ``"serial"``; ignored
+        without ``shards``.
+    n_workers:
+        Process-pool size for ``shard_executor="process"``; ignored without
+        ``shards``.
 
     Returns
     -------
@@ -216,6 +235,29 @@ def solve_toprr(
     sessions that issue several queries against the same dataset should hold
     an engine instead (bind once, query many).
     """
+    if shards is not None:
+        if not prefilter:
+            raise InvalidParameterError(
+                "shards requires prefilter=True: sharding parallelises the r-skyband "
+                "pre-filter, so there is no sharded variant of the unfiltered solve"
+            )
+        from repro.core.sharded import solve_toprr_sharded  # local import: builds on this module
+
+        return solve_toprr_sharded(
+            dataset,
+            k,
+            region,
+            n_shards=int(shards),
+            strategy=shard_strategy,
+            executor=shard_executor,
+            n_workers=n_workers,
+            method=method,
+            clip_to_unit_box=clip_to_unit_box,
+            option_bounds=option_bounds,
+            rng=rng,
+            tol=tol,
+        )
+
     from repro.engine.engine import TopRREngine  # local import: engine builds on this module
 
     engine = TopRREngine(

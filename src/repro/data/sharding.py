@@ -1,0 +1,242 @@
+"""Option-space sharding: disjoint dataset partitions and shared-memory matrices.
+
+The sharded solving path (:mod:`repro.core.sharded`,
+:class:`repro.engine.sharded.ShardedEngine`) partitions the *options* of a
+dataset into ``n_shards`` disjoint shards, filters every shard in its own
+worker process, and reconciles the per-shard candidates in a coordinator.
+This module provides the two building blocks that make that cheap:
+
+* **Shard plans** (:class:`ShardSpec`, :func:`plan_shards`) — pure-metadata
+  descriptions of a partition.  A spec stores only integers and the strategy
+  name, so shipping one to a worker process pickles a few dozen bytes no
+  matter how large the dataset is; the worker re-derives its row indices
+  locally.  Two strategies exist:
+
+  - ``"contiguous"`` — balanced row ranges ``[i*n//s, (i+1)*n//s)``.  Shard
+    datasets are zero-copy views of the parent (see
+    :meth:`repro.data.dataset.Dataset.slice_view`).
+  - ``"hash"`` — rows are assigned by a splitmix64 hash of their positional
+    index, decorrelating shard membership from the row order of the file the
+    dataset was loaded from.  The assignment depends only on
+    ``(n_options, n_shards)``, so it is stable across processes and sessions.
+
+  Every spec maps *back* to the parent: :meth:`ShardSpec.positions` returns
+  the parent positional indices of the shard's rows, and shard datasets
+  built by :func:`shard_dataset` carry those positions as their option ids.
+
+* **Shared-memory matrices** (:class:`SharedMatrix`,
+  :func:`attach_shared_matrix`) — a 2-D float array placed in
+  :mod:`multiprocessing.shared_memory` by the coordinator and *attached* (not
+  copied, not pickled) by worker processes.  The sharded filter publishes the
+  query's vertex-score matrix this way: workers slice their shard's rows out
+  of the one matrix the coordinator computed, which both avoids pickling
+  ``O(n)`` arrays per task and guarantees every process sees bit-identical
+  scores (a prerequisite for the sharded path's exact-parity contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+
+#: Shard assignment strategies accepted by :func:`plan_shards`.
+SHARD_STRATEGIES = ("contiguous", "hash")
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser (uint64 in, well-mixed uint64 out)."""
+    x = values.astype(np.uint64, copy=True)
+    x += np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def hash_assignments(n_options: int, n_shards: int) -> np.ndarray:
+    """Shard id of every row under the ``"hash"`` strategy (stable, seedless).
+
+    Rows are assigned by ``splitmix64(position) % n_shards``; the mapping is
+    a pure function of ``(n_options, n_shards)``, so coordinator and workers
+    derive identical partitions without exchanging index arrays.
+    """
+    return (_splitmix64(np.arange(n_options, dtype=np.uint64)) % np.uint64(n_shards)).astype(int)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Pure-metadata description of one shard of an ``n_options``-row dataset.
+
+    Attributes
+    ----------
+    shard_id:
+        This shard's index in ``range(n_shards)``.
+    n_shards:
+        Total number of shards in the plan.
+    n_options:
+        Number of rows of the *parent* dataset (shards re-derive their row
+        sets from it, so a spec never carries index arrays).
+    strategy:
+        ``"contiguous"`` or ``"hash"``.
+    """
+
+    shard_id: int
+    n_shards: int
+    n_options: int
+    strategy: str
+
+    def bounds(self) -> Optional[Tuple[int, int]]:
+        """``(start, stop)`` row range for contiguous shards, else ``None``."""
+        if self.strategy != "contiguous":
+            return None
+        start = (self.shard_id * self.n_options) // self.n_shards
+        stop = ((self.shard_id + 1) * self.n_options) // self.n_shards
+        return start, stop
+
+    def positions(self) -> np.ndarray:
+        """Parent positional indices of this shard's rows (ascending)."""
+        if self.strategy == "contiguous":
+            start, stop = self.bounds()
+            return np.arange(start, stop)
+        return np.flatnonzero(hash_assignments(self.n_options, self.n_shards) == self.shard_id)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows in this shard (may be zero when ``n_shards > n``)."""
+        if self.strategy == "contiguous":
+            start, stop = self.bounds()
+            return stop - start
+        return int(self.positions().shape[0])
+
+
+def plan_shards(n_options: int, n_shards: int, strategy: str = "contiguous") -> List[ShardSpec]:
+    """Plan a disjoint partition of ``n_options`` rows into ``n_shards`` shards.
+
+    The union of the shards' :meth:`~ShardSpec.positions` is exactly
+    ``range(n_options)`` and shards are pairwise disjoint.  Shards may be
+    empty when ``n_shards > n_options``; the sharded filter handles those
+    (an empty shard simply contributes no candidates).
+    """
+    if n_shards <= 0:
+        raise InvalidParameterError(f"n_shards must be positive, got {n_shards}")
+    if strategy not in SHARD_STRATEGIES:
+        raise InvalidParameterError(
+            f"unknown shard strategy {strategy!r}; expected one of {SHARD_STRATEGIES}"
+        )
+    return [ShardSpec(i, n_shards, n_options, strategy) for i in range(n_shards)]
+
+
+def shard_dataset(dataset: Dataset, spec: ShardSpec) -> Dataset:
+    """The shard's rows as a :class:`Dataset` whose option ids are parent positions.
+
+    Contiguous shards are zero-copy views of the parent's value matrix
+    (:meth:`~repro.data.dataset.Dataset.slice_view`); hash shards gather
+    their rows once.  Option ids are the parent *positional* indices, so any
+    per-shard result maps back to the parent dataset by id — the convention
+    the sharded coordinator and the per-shard engines rely on.
+    """
+    name = f"{dataset.name}[shard {spec.shard_id}/{spec.n_shards}:{spec.strategy}]"
+    if spec.strategy == "contiguous":
+        start, stop = spec.bounds()
+        return dataset.slice_view(start, stop, option_ids=list(range(start, stop)), name=name)
+    positions = spec.positions()
+    return Dataset(
+        dataset.values[positions],
+        attribute_names=dataset.attribute_names,
+        option_ids=positions.tolist(),
+        name=name,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# shared-memory matrices
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SharedMatrixSpec:
+    """Picklable handle of a shared-memory matrix (name + shape + dtype).
+
+    This is all a worker needs to attach: no array data ever crosses the
+    process boundary, and the pickled size is constant in ``n``.
+    """
+
+    name: str
+    shape: Tuple[int, int]
+    dtype: str
+
+
+class SharedMatrix:
+    """Owner side of a 2-D float64 matrix living in shared memory.
+
+    Created by the sharded coordinator from an in-process array (one copy
+    into the segment); workers attach via :func:`attach_shared_matrix` with
+    the :attr:`spec` and read the same pages zero-copy.  The owner must call
+    :meth:`unlink` (or use the instance as a context manager) when the query
+    is done — segments outlive processes otherwise.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, shape: Tuple[int, int], owner: bool):
+        self._shm = shm
+        self.shape = tuple(int(s) for s in shape)
+        self._owner = owner
+        self.array = np.ndarray(self.shape, dtype=np.float64, buffer=shm.buf)
+
+    @classmethod
+    def create_from(cls, matrix: np.ndarray) -> "SharedMatrix":
+        """Copy ``matrix`` into a fresh shared-memory segment and own it."""
+        matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise InvalidParameterError(f"shared matrices must be 2-D, got shape {matrix.shape}")
+        shm = shared_memory.SharedMemory(create=True, size=max(matrix.nbytes, 1))
+        shared = cls(shm, matrix.shape, owner=True)
+        shared.array[:] = matrix
+        return shared
+
+    @property
+    def spec(self) -> SharedMatrixSpec:
+        """The picklable attachment handle for worker processes."""
+        return SharedMatrixSpec(name=self._shm.name, shape=self.shape, dtype="float64")
+
+    def close(self) -> None:
+        """Release this process's mapping (the segment itself survives)."""
+        self.array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; call after all workers are done)."""
+        self.close()
+        if self._owner:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedMatrix":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+
+def attach_shared_matrix(spec: SharedMatrixSpec) -> SharedMatrix:
+    """Attach to a coordinator-owned shared matrix (worker side, zero-copy).
+
+    The returned :class:`SharedMatrix` wraps the *same* physical pages the
+    coordinator wrote; nothing is copied and nothing larger than ``spec``
+    was pickled.  Workers should :meth:`~SharedMatrix.close` (not unlink)
+    when switching to a different segment.
+
+    Before Python 3.13 attaching registers the segment with the resource
+    tracker just like creating does.  That is benign here: pool workers share
+    the coordinator's tracker (the tracker fd is inherited on both fork and
+    spawn), whose per-name cache is a set — the worker's extra ``register``
+    is an idempotent add, and the coordinator's :meth:`~SharedMatrix.unlink`
+    removes the single entry.  Do **not** ``resource_tracker.unregister``
+    after attaching: with a shared tracker that deletes the coordinator's
+    registration and its later ``unlink`` then trips the tracker.
+    """
+    if spec.dtype != "float64":
+        raise InvalidParameterError(f"shared matrices are float64, got {spec.dtype!r}")
+    shm = shared_memory.SharedMemory(name=spec.name)
+    return SharedMatrix(shm, spec.shape, owner=False)

@@ -3,6 +3,9 @@
 * :mod:`repro.engine.engine` — :class:`TopRREngine`: bind a dataset once,
   answer many queries with cross-query caching (affine score form,
   r-skyband, full results), batch execution and cache warming.
+* :mod:`repro.engine.sharded` — :class:`ShardedEngine`: the same contract
+  with the r-skyband pre-filter sharded over disjoint option partitions and
+  run on a process pool against shared-memory score matrices.
 * :mod:`repro.engine.cache` — the bounded LRU used for the caches.
 * :mod:`repro.engine.fingerprint` — hashable region fingerprints (cache keys).
 """
@@ -10,9 +13,11 @@
 from repro.engine.cache import CacheInfo, LRUCache
 from repro.engine.engine import BATCH_EXECUTORS, TopRREngine
 from repro.engine.fingerprint import region_fingerprint
+from repro.engine.sharded import ShardedEngine
 
 __all__ = [
     "TopRREngine",
+    "ShardedEngine",
     "BATCH_EXECUTORS",
     "LRUCache",
     "CacheInfo",

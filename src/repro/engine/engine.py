@@ -213,11 +213,54 @@ class TopRREngine:
             return cached[0], cached[1], cached[2], True
 
         kept = r_skyband(self.dataset, k, region, tol=self.tol)
+        filtered, working, memo = self.install_skyband(k, region, kept)
+        return filtered, working, memo, False
+
+    def cached_result(self, k: int, region: PreferenceRegion, method) -> Optional[TopRRResult]:
+        """The cached :class:`TopRRResult` for ``(k, region, method)``, or ``None``.
+
+        Pure lookup — never solves.  Only string methods are cacheable, as
+        in :meth:`query`.  The sharded front end checks this before paying
+        the shard fan-out for a query the result cache can already answer.
+        """
+        if not isinstance(method, str):
+            return None
+        cached = self._result_cache.get((int(k), region_fingerprint(region), method.lower()))
+        return None if cached is MISSING else cached
+
+    def cached_skyband(self, k: int, region: PreferenceRegion):
+        """The cached ``(filtered, working, memo)`` entry, or ``None`` — no compute.
+
+        Sharding hook: the sharded coordinator peeks every shard engine's
+        cache before deciding which shards actually need to run the filter.
+        Counts as a cache hit/miss like :meth:`prefiltered` does.
+        """
+        if not self.prefilter:
+            return None
+        entry = self._skyband_cache.get((int(k), region_fingerprint(region)))
+        return None if entry is MISSING else entry
+
+    def install_skyband(self, k: int, region: PreferenceRegion, kept) -> tuple:
+        """Install an externally computed r-skyband result and return its entry.
+
+        ``kept`` are ascending positional indices into this engine's dataset
+        — exactly what :func:`~repro.pruning.rskyband.r_skyband` returns.
+        The entry (filtered dataset, root working set sliced from the bound
+        affine form, vertex-score memo) is built the same way
+        :meth:`prefiltered` builds it, so a later :meth:`query` for the same
+        ``(k, region)`` is indistinguishable from having run the filter here.
+        This is the sharding hook: the coordinator of
+        :class:`repro.engine.sharded.ShardedEngine` filters in worker
+        processes and installs the results into the per-shard engines.
+        """
+        coefficients, constants = self.affine_form()
+        kept = np.asarray(kept, dtype=int)
         filtered = self.dataset.subset(kept, name=f"{self.dataset.name}[r-skyband]")
         working = WorkingSet.from_affine_form(coefficients[kept], constants[kept], k)
         memo = VertexScoreMemo.for_working(working)
-        self._skyband_cache.put(key, (filtered, working, memo))
-        return filtered, working, memo, False
+        entry = (filtered, working, memo)
+        self._skyband_cache.put((int(k), region_fingerprint(region)), entry)
+        return entry
 
     # ------------------------------------------------------------------ #
     # queries
@@ -307,14 +350,20 @@ class TopRREngine:
         executor:
             ``"serial"`` (default) runs in-process and shares all caches;
             ``"thread"`` fans out over a thread pool (caches are shared and
-            thread-safe; numpy/qhull release the GIL for the heavy parts —
-            note that identical queries running *concurrently* each solve
-            before the first populates the cache, so repeats only hit once
-            the earlier answer has landed);
+            thread-safe, but the solve hot path is CPU-bound Python since
+            the closed-form geometry backends replaced the GIL-releasing
+            LP/qhull calls, so threads mostly overlap cache lookups — do not
+            expect them to scale the solve itself; note also that identical
+            queries running *concurrently* each solve before the first
+            populates the cache, so repeats only hit once the earlier
+            answer has landed);
             ``"process"`` uses worker processes as
             :mod:`repro.core.parallel` does — fully parallel but without
             shared caches, appropriate for batches of mostly-distinct heavy
-            queries.
+            queries.  For CPU-bound scaling on one large catalogue, prefer
+            option-space sharding
+            (:class:`repro.engine.sharded.ShardedEngine`, CLI ``--shards``),
+            which parallelises inside each query instead of across queries.
         n_workers:
             Pool size for the ``"thread"`` and ``"process"`` executors.
         """

@@ -1,0 +1,389 @@
+"""Process-parallel sharded serving: one engine per option partition.
+
+:class:`ShardedEngine` is the session-scoped front end of the option-space
+sharded path (:mod:`repro.core.sharded`).  It owns
+
+* a **shard plan** (:func:`repro.data.sharding.plan_shards`) partitioning the
+  bound dataset into ``n_shards`` disjoint option shards,
+* one :class:`~repro.engine.engine.TopRREngine` **per shard**, bound to a
+  zero-copy shard view of the parent matrix, each with its own r-skyband /
+  result LRUs and vertex-score memos — per-shard filter results are cached
+  and reused across queries exactly like the unsharded engine's,
+* a **coordinator** :class:`~repro.engine.engine.TopRREngine` over the full
+  dataset that holds the merged r-skyband entries and the result cache and
+  runs the actual solve, and
+* a lazily started **process pool** whose workers attach to the query's
+  shared-memory score matrix (no array is ever pickled to a worker; tasks
+  carry only segment names and shard-plan integers).
+
+Life of a query: the coordinator computes the vertex-score matrix once,
+fans the per-shard r-skyband out (pool tasks under ``executor="process"``,
+in-process under ``"serial"``; shards whose engine already cached the
+``(k, region)`` filter skip the fan-out), reconciles the per-shard
+candidates into the exact global r-skyband
+(:func:`repro.core.sharded.reconcile_candidates`), installs the merged
+entry into the coordinator engine and delegates the solve to it.  Because
+the solve runs the unmodified engine code on the bit-identical filtered
+dataset, results are bit-identical to :class:`TopRREngine` /
+:func:`~repro.core.toprr.solve_toprr` — asserted by
+``tests/test_sharded_differential.py``.
+
+The engine owns OS resources (worker processes); call :meth:`close` or use
+it as a context manager.  Sharding always runs the r-skyband pre-filter —
+it *is* the sharded stage — so ``prefilter=False`` has no sharded
+counterpart (use :class:`TopRREngine` or
+:mod:`repro.core.parallel` for unfiltered workloads).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.sharded import (
+    SHARD_EXECUTORS,
+    _shard_filter_task,
+    reconcile_candidates,
+    shard_skyband,
+)
+from repro.core.toprr import SolverLike, TopRRResult
+from repro.data.dataset import Dataset
+from repro.data.sharding import SharedMatrix, ShardSpec, plan_shards, shard_dataset
+from repro.engine.engine import TopRREngine
+from repro.exceptions import InvalidParameterError
+from repro.preference.region import PreferenceRegion
+from repro.pruning.rskyband import vertex_score_matrix
+from repro.utils.rng import RngLike
+from repro.utils.timer import Timer
+from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+
+class ShardedEngine:
+    """Serve TopRR queries with a process-parallel sharded pre-filter.
+
+    Parameters
+    ----------
+    dataset:
+        The option dataset ``D`` this engine serves.
+    n_shards:
+        Number of disjoint option shards.
+    strategy:
+        ``"contiguous"`` (zero-copy row ranges) or ``"hash"`` (stable
+        splitmix64 assignment), see :mod:`repro.data.sharding`.
+    executor:
+        ``"process"`` (default): one pool task per shard, workers attach to
+        the query's shared-memory score matrix.  ``"serial"``: identical
+        per-shard code, run in-process (testing / single-core fallback).
+    n_workers:
+        Process-pool size; defaults to ``n_shards`` capped at the CPU count.
+    method, clip_to_unit_box, option_bounds, rng, tol:
+        As in :class:`~repro.engine.engine.TopRREngine`.
+    skyband_cache_size, result_cache_size:
+        Bounds of the coordinator's merged r-skyband LRU and result LRU.
+        The merged skyband cache is clamped to at least one entry — the
+        sharded filter installs its result there for the delegated solve to
+        pick up.
+    shard_cache_size:
+        Bound of each per-shard engine's r-skyband LRU.
+
+    Examples
+    --------
+    >>> from repro.data.generators import generate_independent
+    >>> from repro.preference.region import PreferenceRegion
+    >>> region = PreferenceRegion.hyperrectangle([(0.3, 0.35), (0.3, 0.35)])
+    >>> with ShardedEngine(generate_independent(5_000, 3, rng=1), n_shards=4) as engine:
+    ...     result = engine.query(5, region)
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        n_shards: int = 4,
+        strategy: str = "contiguous",
+        executor: str = "process",
+        n_workers: Optional[int] = None,
+        method: SolverLike = "tas*",
+        clip_to_unit_box: bool = True,
+        option_bounds: Optional[tuple] = None,
+        rng: RngLike = 0,
+        tol: Tolerance = DEFAULT_TOL,
+        skyband_cache_size: int = 128,
+        result_cache_size: int = 64,
+        shard_cache_size: int = 32,
+    ):
+        if executor not in SHARD_EXECUTORS:
+            raise InvalidParameterError(
+                f"unknown executor {executor!r}; expected one of {SHARD_EXECUTORS}"
+            )
+        self.dataset = dataset
+        self.executor = executor
+        self.tol = tol
+        self.plan: List[ShardSpec] = plan_shards(dataset.n_options, n_shards, strategy)
+        self.n_shards = len(self.plan)
+        self.strategy = strategy
+        self.n_workers = int(n_workers or min(self.n_shards, os.cpu_count() or 1))
+        if self.n_workers <= 0:
+            raise InvalidParameterError(f"n_workers must be positive, got {self.n_workers}")
+        self._coordinator = TopRREngine(
+            dataset,
+            method=method,
+            prefilter=True,
+            clip_to_unit_box=clip_to_unit_box,
+            option_bounds=option_bounds,
+            rng=rng,
+            tol=tol,
+            skyband_cache_size=max(1, skyband_cache_size),
+            result_cache_size=result_cache_size,
+        )
+        self._shard_cache_size = int(shard_cache_size)
+        self._shard_engines: Optional[List[TopRREngine]] = None
+        self._shard_positions: List[Optional[np.ndarray]] = [None] * self.n_shards
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        self.n_queries = 0
+
+    # ------------------------------------------------------------------ #
+    # owned structure
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_engines(self) -> List[Optional[TopRREngine]]:
+        """The per-shard engines (built lazily: zero-copy views per shard).
+
+        Shards with no rows — possible when ``n_shards > n_options`` — have
+        no engine (``None``); they contribute no candidates and no work.
+        """
+        with self._lock:
+            if self._shard_engines is None:
+                self._shard_engines = [
+                    TopRREngine(
+                        shard_dataset(self.dataset, spec),
+                        method=self._coordinator.method,
+                        prefilter=True,
+                        rng=self._coordinator.rng,
+                        tol=self.tol,
+                        skyband_cache_size=self._shard_cache_size,
+                        result_cache_size=0,
+                    )
+                    if spec.n_rows > 0
+                    else None
+                    for spec in self.plan
+                ]
+            return self._shard_engines
+
+    def _positions(self, shard_id: int) -> np.ndarray:
+        """Parent positional indices of one shard (computed once)."""
+        if self._shard_positions[shard_id] is None:
+            self._shard_positions[shard_id] = self.plan[shard_id].positions()
+        return self._shard_positions[shard_id]
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The lazily created process pool (``executor="process"`` only)."""
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+            return self._pool
+
+    # ------------------------------------------------------------------ #
+    # the sharded pre-filter
+    # ------------------------------------------------------------------ #
+    def _sharded_prefilter(self, k: int, region: PreferenceRegion) -> dict:
+        """Run the sharded r-skyband for ``(k, region)`` and install the result.
+
+        Returns the per-query shard bookkeeping that :meth:`query` folds
+        into the result's :class:`~repro.core.stats.SolverStats`.  When the
+        coordinator already holds the merged entry, the fan-out is skipped
+        entirely.
+        """
+        if self._coordinator.cached_skyband(k, region) is not None:
+            return {"merged_cache_hit": True}
+
+        timer = Timer().start()
+        scores = vertex_score_matrix(self.dataset, region)
+        engines = self.shard_engines
+
+        candidates: List[Optional[np.ndarray]] = [None] * self.n_shards
+        shard_seconds: List[float] = [0.0] * self.n_shards
+        shard_hits = 0
+        missing: List[int] = []
+        for shard_id, engine in enumerate(engines):
+            if engine is None:  # empty shard: nothing to filter
+                candidates[shard_id] = np.empty(0, dtype=int)
+                continue
+            entry = engine.cached_skyband(k, region)
+            if entry is not None:
+                # Shard datasets carry parent positions as option ids.
+                candidates[shard_id] = np.asarray(entry[0].option_ids, dtype=int)
+                shard_hits += 1
+            else:
+                missing.append(shard_id)
+
+        if missing and self.executor == "process":
+            pool = self._ensure_pool()
+            with SharedMatrix.create_from(scores) as shared:
+                futures = [
+                    pool.submit(_shard_filter_task, shared.spec, self.plan[shard_id], k, self.tol)
+                    for shard_id in missing
+                ]
+                for future in futures:
+                    shard_id, kept_parent, seconds = future.result()
+                    candidates[shard_id] = kept_parent
+                    shard_seconds[shard_id] = seconds
+        else:
+            for shard_id in missing:
+                piece = Timer().start()
+                candidates[shard_id] = shard_skyband(scores, self.plan[shard_id], k, tol=self.tol)
+                shard_seconds[shard_id] = piece.stop()
+
+        for shard_id in missing:
+            kept_parent = candidates[shard_id]
+            bounds = self.plan[shard_id].bounds()
+            if bounds is not None:
+                kept_local = kept_parent - bounds[0]
+            else:
+                kept_local = np.searchsorted(self._positions(shard_id), kept_parent)
+            engines[shard_id].install_skyband(k, region, kept_local)
+        filter_seconds = timer.stop()
+
+        merge_timer = Timer().start()
+        kept = reconcile_candidates(scores, candidates, k, tol=self.tol)
+        self._coordinator.install_skyband(k, region, kept)
+        merge_seconds = merge_timer.stop()
+
+        return {
+            "merged_cache_hit": False,
+            "filter_seconds": filter_seconds,
+            "merge_seconds": merge_seconds,
+            "shard_seconds": shard_seconds,
+            "shard_candidates": [int(c.shape[0]) for c in candidates],
+            "shard_cache_hits": shard_hits,
+            "n_candidates": int(sum(c.shape[0] for c in candidates)),
+        }
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        k: int,
+        region: PreferenceRegion,
+        method: Optional[SolverLike] = None,
+        use_cache: bool = True,
+    ) -> TopRRResult:
+        """Solve one TopRR query through the sharded pre-filter.
+
+        Contract-identical to :meth:`TopRREngine.query` — and bit-identical
+        in output, because the solve is delegated to the coordinator engine
+        on the exact global r-skyband the shards reconciled to.  The result
+        stats additionally record ``n_shards``, ``merge_seconds`` and the
+        per-shard filter timings (``extra["shard_seconds"]``).
+        """
+        self._coordinator._validate(k, region)
+        with self._lock:
+            self.n_queries += 1
+        resolved = self._coordinator.method if method is None else method
+        if use_cache:
+            cached = self._coordinator.cached_result(k, region, resolved)
+            if cached is not None:
+                return cached
+
+        info = self._sharded_prefilter(k, region)
+        result = self._coordinator.query(k, region, method=method, use_cache=use_cache)
+
+        stats = result.stats
+        stats.n_shards = self.n_shards
+        stats.extra["shard_strategy"] = self.strategy
+        stats.extra["shard_executor"] = self.executor
+        stats.extra["skyband_cache_hit"] = bool(info["merged_cache_hit"])
+        if not info["merged_cache_hit"]:
+            stats.merge_seconds = info["merge_seconds"]
+            stats.extra["shard_filter_seconds"] = info["filter_seconds"]
+            stats.extra["shard_seconds"] = info["shard_seconds"]
+            stats.extra["shard_candidates"] = info["shard_candidates"]
+            stats.extra["shard_cache_hits"] = info["shard_cache_hits"]
+            stats.extra["n_candidates"] = info["n_candidates"]
+        return result
+
+    def query_batch(
+        self,
+        queries: Iterable[Union[Tuple[int, PreferenceRegion], Sequence]],
+        method: Optional[SolverLike] = None,
+        use_cache: bool = True,
+    ) -> List[TopRRResult]:
+        """Answer many ``(k, region)`` queries in input order.
+
+        Queries run serially through :meth:`query`; the parallelism of this
+        engine lives *inside* each query (across option shards), which is
+        the right axis for CPU-bound work on one large catalogue.
+        """
+        return [(self.query(int(k), region, method=method, use_cache=use_cache)) for k, region in queries]
+
+    def warm(self, ks: Iterable[int], regions: Iterable[PreferenceRegion]) -> int:
+        """Precompute the sharded r-skyband for every ``(k, region)`` pair.
+
+        Returns the number of combinations actually filtered (merged-cache
+        hits are skipped), mirroring :meth:`TopRREngine.warm`.
+        """
+        regions = list(regions)
+        computed = 0
+        for k in ks:
+            for region in regions:
+                self._coordinator._validate(k, region)
+                info = self._sharded_prefilter(k, region)
+                if not info["merged_cache_hit"]:
+                    computed += 1
+        return computed
+
+    # ------------------------------------------------------------------ #
+    # introspection and lifecycle
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> dict:
+        """Coordinator (merged + result) and per-shard cache counters."""
+        info = {
+            "n_queries": self.n_queries,
+            "merged": self._coordinator.cache_info(),
+            "shards": [],
+        }
+        if self._shard_engines is not None:
+            info["shards"] = [
+                engine.cache_info() if engine is not None else None
+                for engine in self._shard_engines
+            ]
+        return info
+
+    def clear_caches(self) -> None:
+        """Drop every cached intermediate on the coordinator and all shards."""
+        self._coordinator.clear_caches()
+        if self._shard_engines is not None:
+            for engine in self._shard_engines:
+                if engine is not None:
+                    engine.clear_caches()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; caches stay usable)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ShardedEngine(dataset={self.dataset.name!r}, n={self.dataset.n_options}, "
+            f"shards={self.n_shards}x{self.strategy}, executor={self.executor!r}, "
+            f"queries={self.n_queries})"
+        )

@@ -175,3 +175,66 @@ class TestPrecomputedTopRR:
             index.solve(0, region)
         with pytest.raises(InvalidParameterError):
             index.solve(3, PreferenceRegion.interval(0.2, 0.4))
+
+
+class TestParallelIncrementalRouting:
+    """The chopped-region path routes through the shared split-tree memo."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_incremental_matches_from_scratch(self, market, region, executor):
+        incremental = solve_toprr_parallel(
+            market, 8, region, n_workers=2, n_pieces=4, executor=executor, incremental=True
+        )
+        scratch = solve_toprr_parallel(
+            market, 8, region, n_workers=2, n_pieces=4, executor=executor, incremental=False
+        )
+        assert incremental.vertices_reduced.tobytes() == scratch.vertices_reduced.tobytes()
+        assert incremental.thresholds.tobytes() == scratch.thresholds.tobytes()
+        # memo counters are live on the incremental path and silent otherwise
+        stats = incremental.stats
+        assert stats.n_score_rows_computed > 0
+        assert stats.n_score_rows_reused > 0
+        assert stats.n_score_batches > 0
+        assert scratch.stats.n_score_rows_computed == 0
+        assert scratch.stats.n_score_batches == 0
+
+    def test_shared_memo_reuses_rows_across_pieces(self, market, region):
+        # Piece-boundary vertices are shared between adjacent pieces; with the
+        # serial executor all pieces feed one memo, so reuse must exceed what
+        # any single piece's split tree could produce alone.
+        result = solve_toprr_parallel(
+            market, 8, region, n_workers=1, n_pieces=4, executor="serial"
+        )
+        stats = result.stats
+        assert stats.n_score_rows_reused > 0
+        assert stats.extra["n_pieces"] == stats.extra["n_pieces_requested"] == 4
+
+
+class TestDegenerateChopping:
+    def test_thin_region_warns_once_and_reports_shortfall(self):
+        import warnings
+
+        import repro.core.parallel as parallel_mod
+
+        thin = PreferenceRegion.hyperrectangle(
+            [(0.3, 0.3 + 1e-12), (0.3, 0.3 + 1e-12)]
+        )
+        parallel_mod._degenerate_split_warned = False
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = split_region_into_boxes(thin, 4)
+                second = split_region_into_boxes(thin, 4)
+            assert len(first) == 1 and len(second) == 1
+            runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+            assert len(runtime) == 1  # warn once per process, not per call
+            assert "4" in str(runtime[0].message)
+        finally:
+            parallel_mod._degenerate_split_warned = False
+
+    def test_requested_piece_count_lands_in_stats(self):
+        small = generate_independent(300, 3, rng=23)
+        region = PreferenceRegion.hyperrectangle([(0.3, 0.36), (0.3, 0.36)])
+        result = solve_toprr_parallel(small, 4, region, n_pieces=3, executor="serial")
+        assert result.stats.extra["n_pieces_requested"] == 3
+        assert result.stats.extra["n_pieces"] <= 3

@@ -1,0 +1,164 @@
+"""Unit tests for the option-space sharding substrate.
+
+Covers the shard plans (disjoint union, stability, empty shards), the
+zero-copy dataset views, the shared-memory matrices (attach really maps the
+same pages) and the zero-pickle contract of the process-pool task payloads.
+The end-to-end sharded-vs-unsharded equivalences live in
+``tests/test_sharded_differential.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.sharded import _shard_filter_task, shard_skyband
+from repro.data.dataset import Dataset
+from repro.data.generators import generate_independent
+from repro.data.sharding import (
+    SHARD_STRATEGIES,
+    SharedMatrix,
+    ShardSpec,
+    attach_shared_matrix,
+    hash_assignments,
+    plan_shards,
+    shard_dataset,
+)
+from repro.exceptions import InvalidParameterError
+from repro.utils.tolerance import DEFAULT_TOL
+
+
+class TestShardPlans:
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    @pytest.mark.parametrize("n_options,n_shards", [(1, 1), (10, 3), (100, 7), (5, 7), (64, 4)])
+    def test_plan_is_a_disjoint_cover(self, n_options, n_shards, strategy):
+        plan = plan_shards(n_options, n_shards, strategy)
+        assert len(plan) == n_shards
+        union = np.concatenate([spec.positions() for spec in plan])
+        assert sorted(union.tolist()) == list(range(n_options))
+
+    def test_contiguous_bounds_are_balanced(self):
+        plan = plan_shards(10, 3, "contiguous")
+        assert [spec.bounds() for spec in plan] == [(0, 3), (3, 6), (6, 10)]
+        assert [spec.n_rows for spec in plan] == [3, 3, 4]
+
+    def test_positions_are_ascending(self):
+        for spec in plan_shards(200, 5, "hash"):
+            positions = spec.positions()
+            assert np.all(np.diff(positions) > 0)
+            assert spec.n_rows == positions.shape[0]
+
+    def test_hash_assignment_is_stable_and_seedless(self):
+        first = hash_assignments(1000, 4)
+        second = hash_assignments(1000, 4)
+        assert np.array_equal(first, second)
+        assert first.min() >= 0 and first.max() < 4
+        # splitmix64 mixes well enough that no shard is starved
+        counts = np.bincount(first, minlength=4)
+        assert counts.min() > 150
+
+    def test_empty_shards_when_more_shards_than_rows(self):
+        plan = plan_shards(3, 7, "contiguous")
+        sizes = [spec.n_rows for spec in plan]
+        assert sum(sizes) == 3
+        assert 0 in sizes
+
+    def test_plan_validation(self):
+        with pytest.raises(InvalidParameterError):
+            plan_shards(10, 0)
+        with pytest.raises(InvalidParameterError):
+            plan_shards(10, 2, "roundrobin")
+
+
+class TestShardDatasets:
+    def test_contiguous_shard_is_a_zero_copy_view(self):
+        dataset = generate_independent(100, 3, rng=0)
+        shard = shard_dataset(dataset, plan_shards(100, 4, "contiguous")[1])
+        assert np.shares_memory(shard.values, dataset.values)
+        assert shard.option_ids == list(range(25, 50))
+
+    def test_hash_shard_carries_parent_positions_as_ids(self):
+        dataset = generate_independent(60, 3, rng=1)
+        spec = plan_shards(60, 3, "hash")[2]
+        shard = shard_dataset(dataset, spec)
+        assert shard.option_ids == spec.positions().tolist()
+        assert np.array_equal(shard.values, dataset.values[spec.positions()])
+
+    def test_slice_view_shares_memory_and_validates(self):
+        dataset = generate_independent(50, 3, rng=2)
+        view = dataset.slice_view(10, 30)
+        assert np.shares_memory(view.values, dataset.values)
+        assert view.option_ids == dataset.option_ids[10:30]
+        with pytest.raises(InvalidParameterError):
+            dataset.slice_view(-1, 10)
+        with pytest.raises(InvalidParameterError):
+            dataset.slice_view(10, 51)
+        with pytest.raises(InvalidParameterError):
+            dataset.slice_view(30, 10)
+
+
+class TestSharedMatrix:
+    def test_attach_maps_the_same_pages(self):
+        matrix = np.arange(12, dtype=float).reshape(4, 3)
+        with SharedMatrix.create_from(matrix) as owner:
+            attached = attach_shared_matrix(owner.spec)
+            assert np.array_equal(attached.array, matrix)
+            # write-through: owner mutations are visible without any transfer
+            owner.array[2, 1] = -5.0
+            assert attached.array[2, 1] == -5.0
+            attached.close()
+
+    def test_spec_round_trips_and_validates_dtype(self):
+        with SharedMatrix.create_from(np.ones((2, 2))) as owner:
+            spec = pickle.loads(pickle.dumps(owner.spec))
+            bad = type(spec)(name=spec.name, shape=spec.shape, dtype="float32")
+            with pytest.raises(InvalidParameterError):
+                attach_shared_matrix(bad)
+            attached = attach_shared_matrix(spec)
+            assert attached.array.shape == (2, 2)
+            attached.close()
+
+    def test_create_rejects_non_2d(self):
+        with pytest.raises(InvalidParameterError):
+            SharedMatrix.create_from(np.ones(5))
+
+
+class TestZeroPickleContract:
+    def test_task_payload_size_is_independent_of_n(self):
+        """The process-pool task ships metadata only — never score arrays."""
+        sizes = {}
+        for n in (1_000, 1_000_000):
+            with SharedMatrix.create_from(np.ones((4, 3))) as shared:
+                spec = plan_shards(n, 8, "contiguous")[3]
+                payload = pickle.dumps((shared.spec, spec, 10, DEFAULT_TOL))
+                sizes[n] = len(payload)
+        # constant up to integer-width wobble in the pickled n_options
+        assert abs(sizes[1_000] - sizes[1_000_000]) <= 8
+        assert max(sizes.values()) < 2048
+
+    def test_worker_task_reads_through_shared_memory(self):
+        """A real pool worker attaches to the segment and filters its shard."""
+        dataset = generate_independent(400, 3, rng=3)
+        vertices = np.array([[0.3, 0.3, 0.4], [0.35, 0.3, 0.35], [0.3, 0.35, 0.35]])
+        scores = dataset.values @ vertices.T
+        spec = plan_shards(400, 4, "contiguous")[1]
+        expected = shard_skyband(scores, spec, 5)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            with SharedMatrix.create_from(scores) as shared:
+                shard_id, kept, seconds = pool.submit(
+                    _shard_filter_task, shared.spec, spec, 5, DEFAULT_TOL
+                ).result()
+        assert shard_id == 1
+        assert np.array_equal(kept, expected)
+        assert seconds >= 0.0
+
+
+class TestShardSkyband:
+    def test_empty_shard_contributes_no_candidates(self):
+        scores = np.random.default_rng(0).random((3, 2))
+        empty = ShardSpec(shard_id=0, n_shards=7, n_options=3, strategy="contiguous")
+        assert empty.n_rows == 0
+        assert shard_skyband(scores, empty, 2).size == 0
