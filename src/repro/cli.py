@@ -82,6 +82,28 @@ def _build_parser() -> argparse.ArgumentParser:
         default="process",
         help="process | serial (default: process); only with --shards",
     )
+    solve.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="per-batch deadline in seconds for pool shard tasks; a task still "
+        "running past it counts as hung and is retried on a fresh pool "
+        "(default: wait indefinitely); only with --shards",
+    )
+    solve.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        help="pool re-submissions allowed per shard task after its first "
+        "failure (default: 2); only with --shards",
+    )
+    solve.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail the query (ShardExecutionError) when a shard stays "
+        "unrecoverable, instead of degrading it to serial in-process "
+        "execution; only with --shards",
+    )
 
     batch = sub.add_parser(
         "batch",
@@ -116,6 +138,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shard-strategy",
         default="contiguous",
         help="contiguous | hash (default: contiguous); only with --shards",
+    )
+    batch.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="per-batch deadline in seconds for pool shard tasks "
+        "(default: wait indefinitely); only with --shards",
+    )
+    batch.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        help="pool re-submissions allowed per shard task after its first "
+        "failure (default: 2); only with --shards",
+    )
+    batch.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail instead of degrading unrecoverable shard tasks to serial "
+        "in-process execution; only with --shards",
     )
     batch.add_argument("--seed", type=int, default=7, help="random seed")
 
@@ -156,6 +198,9 @@ def _command_solve(args: argparse.Namespace) -> int:
         shards=args.shards,
         shard_strategy=args.shard_strategy,
         shard_executor=args.shard_executor,
+        shard_timeout=args.shard_timeout,
+        shard_retries=args.shard_retries,
+        shard_fallback=not args.no_fallback,
     )
     print(format_table([result.summary()], title="TopRR result"))
     if args.shards:
@@ -164,6 +209,13 @@ def _command_solve(args: argparse.Namespace) -> int:
             f"({args.shard_strategy}, executor={args.shard_executor}), "
             f"merge {result.stats.merge_seconds * 1000:.2f} ms"
         )
+        if result.stats.degraded or result.stats.n_retries:
+            print(
+                f"resilience: {result.stats.n_retries} retries, "
+                f"{result.stats.n_worker_crashes} worker crashes, "
+                f"{result.stats.n_pool_rebuilds} pool rebuilds, "
+                f"{result.stats.n_degraded_shards} shard(s) degraded to serial"
+            )
     if not result.is_empty():
         placement = cheapest_new_option(result)
         values = ", ".join(f"{v:.4f}" for v in placement.option)
@@ -195,6 +247,9 @@ def _command_batch(args: argparse.Namespace) -> int:
             strategy=args.shard_strategy,
             method=args.method,
             rng=args.seed,
+            shard_timeout=args.shard_timeout,
+            shard_retries=args.shard_retries,
+            shard_fallback=not args.no_fallback,
         )
         label = f"shards={engine.n_shards}x{args.shard_strategy}"
     else:

@@ -218,10 +218,13 @@ class BaseTestAndSplit:
 
         vall = merge_vertex_sets(accepted_vertex_sets, tol=self.tol)
         stats.n_vertices = int(vall.shape[0])
-        lp_calls, qhull_calls, clip_calls = geometry_counters.delta(geometry_before)
+        lp_calls, qhull_calls, clip_calls, backend_fallbacks = geometry_counters.delta(
+            geometry_before
+        )
         stats.n_lp_calls += lp_calls
         stats.n_qhull_calls += qhull_calls
         stats.n_clip_calls += clip_calls
+        stats.n_backend_fallbacks += backend_fallbacks
         return vall
 
     @staticmethod

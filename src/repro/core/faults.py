@@ -1,0 +1,290 @@
+"""Deterministic fault injection for the process-parallel execution paths.
+
+Testing the fault-tolerance layer (:mod:`repro.core.resilient`) requires
+*reproducible* worker failures: a test must be able to say "the worker
+running shard 1 crashes, once" and observe the exact same recovery sequence
+on every run.  This module provides that as data:
+
+* :class:`FaultSpec` — one scheduled fault: *where* it fires (an
+  instrumentation point plus a task key, e.g. a shard id), *what* happens
+  (``"crash"``: the worker process dies hard, ``"hang"``: the task blocks,
+  ``"raise"``: the task raises :class:`InjectedFault`), and *how many times*
+  it fires before retiring.
+* :class:`FaultPlan` — a set of specs plus an on-disk **state directory**.
+  Firing counts are claimed by atomically creating marker files in that
+  directory, so "fire once" means once *across every process and every pool
+  rebuild* — exactly the semantics a retry test needs (first attempt fails,
+  the retry succeeds), and the reason the schedule stays deterministic even
+  though pool workers come and go.
+* :func:`fault_point` — the instrumentation hook.  The worker-side task code
+  calls ``fault_point(point, key)`` at its interesting moments (task start,
+  shared-memory attach, kernel entry — see
+  :func:`repro.core.sharded._shard_filter_task`); with no plan installed the
+  call is a near-free no-op, so production paths pay one global read.
+
+Plans travel to pool workers through the environment:
+:meth:`FaultPlan.installed` exports the plan as JSON under
+:data:`FAULT_PLAN_ENV`, and the pool initializer used by
+:class:`repro.core.resilient.SupervisedPool` calls :func:`install_from_env`
+in every fresh worker.  The coordinator process itself never auto-installs a
+plan — deliberately, so the serial degradation path (which re-runs failed
+tasks in-process) executes fault-free, mirroring a real deployment where the
+coordinator is healthy and only workers misbehave.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError, ReproError
+
+#: Environment variable carrying a JSON-serialised plan into pool workers.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Fault kinds a spec may schedule.
+FAULT_KINDS = ("crash", "hang", "raise")
+
+#: Instrumentation points the sharded worker task exposes (documentation —
+#: :func:`fault_point` accepts any label, so new subsystems can add points
+#: without touching this module).
+KNOWN_POINTS = ("task", "attach", "kernel")
+
+#: Exit code of a ``"crash"`` fault (``os._exit``, so no cleanup runs — the
+#: closest in-process stand-in for a segfaulting or OOM-killed worker).
+CRASH_EXIT_CODE = 17
+
+#: Matches every task key at a point (``FaultSpec.key``).
+ANY_KEY = -1
+
+
+class InjectedFault(ReproError):
+    """Raised by a ``"raise"`` fault — a stand-in for a worker-side error."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    point:
+        Instrumentation point label, e.g. ``"task"`` (task start),
+        ``"attach"`` (before the shared-memory attach) or ``"kernel"``
+        (before the filter kernel).
+    key:
+        Task key the fault targets (the shard id on the sharded path), or
+        :data:`ANY_KEY` to match every task reaching the point.
+    kind:
+        ``"crash"`` (``os._exit``), ``"hang"`` (sleep ``hang_seconds``) or
+        ``"raise"`` (:class:`InjectedFault`).
+    times:
+        Fire at most this many times plan-wide (claimed via the plan's
+        marker files, so the budget spans processes and pool rebuilds).
+    hang_seconds:
+        Sleep duration of a ``"hang"`` fault.  The supervisor's task timeout
+        is expected to expire long before this does; the sleeping worker is
+        then abandoned with its pool.
+    """
+
+    point: str
+    key: int = ANY_KEY
+    kind: str = "raise"
+    times: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise InvalidParameterError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.times < 1:
+            raise InvalidParameterError(f"times must be >= 1, got {self.times}")
+
+    def matches(self, point: str, key: int) -> bool:
+        """True when the spec targets this ``(point, key)`` pair."""
+        return self.point == point and (self.key == ANY_KEY or self.key == int(key))
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of worker faults.
+
+    Parameters
+    ----------
+    specs:
+        The scheduled faults.  Specs are matched in order; at most one fault
+        fires per :func:`fault_point` call.
+    state_dir:
+        Directory holding the firing-count marker files.  Created (as a
+        temporary directory) when omitted.  All processes sharing the plan
+        must see the same directory — which they do automatically, since the
+        plan travels by value (env JSON) and the directory by path.
+    """
+
+    specs: Sequence[FaultSpec] = field(default_factory=tuple)
+    state_dir: Optional[str] = None
+
+    def __post_init__(self):
+        self.specs = tuple(self.specs)
+        if self.state_dir is None:
+            self.state_dir = tempfile.mkdtemp(prefix="toprr-faults-")
+
+    # ------------------------------------------------------------------ #
+    # firing bookkeeping (cross-process, via atomic marker files)
+    # ------------------------------------------------------------------ #
+    def _claim(self, spec_index: int) -> bool:
+        """Atomically claim one firing slot of spec ``spec_index``.
+
+        Slot ``n`` is the marker file ``spec<i>.fire<n>``; ``O_EXCL``
+        creation makes each slot claimable exactly once across every process
+        sharing the state directory.  Returns False once all ``times`` slots
+        are taken (the spec has retired).
+        """
+        spec = self.specs[spec_index]
+        for n in range(spec.times):
+            marker = os.path.join(self.state_dir, f"spec{spec_index}.fire{n}")
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def fired(self, spec_index: int) -> int:
+        """How many times spec ``spec_index`` has fired so far (plan-wide)."""
+        spec = self.specs[spec_index]
+        count = 0
+        for n in range(spec.times):
+            if os.path.exists(os.path.join(self.state_dir, f"spec{spec_index}.fire{n}")):
+                count += 1
+        return count
+
+    def reset(self) -> None:
+        """Forget all firings (markers removed; the schedule restarts)."""
+        for name in os.listdir(self.state_dir):
+            if name.startswith("spec"):
+                try:
+                    os.unlink(os.path.join(self.state_dir, name))
+                except FileNotFoundError:
+                    pass
+
+    # ------------------------------------------------------------------ #
+    # serialisation and installation
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        """JSON form used for the environment hand-off to pool workers."""
+        return json.dumps(
+            {
+                "state_dir": self.state_dir,
+                "specs": [
+                    {
+                        "point": s.point,
+                        "key": s.key,
+                        "kind": s.kind,
+                        "times": s.times,
+                        "hang_seconds": s.hang_seconds,
+                    }
+                    for s in self.specs
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output (same state directory)."""
+        data = json.loads(payload)
+        return cls(
+            specs=tuple(FaultSpec(**spec) for spec in data["specs"]),
+            state_dir=data["state_dir"],
+        )
+
+    def installed(self) -> "_InstalledPlan":
+        """Context manager exporting the plan to :data:`FAULT_PLAN_ENV`.
+
+        Inside the ``with`` block every *newly started* pool worker whose
+        initializer calls :func:`install_from_env` observes the plan; the
+        coordinator process stays fault-free.  The previous environment value
+        is restored on exit.
+        """
+        return _InstalledPlan(self)
+
+
+class _InstalledPlan:
+    """Scoped export of a :class:`FaultPlan` into the environment."""
+
+    def __init__(self, plan: FaultPlan):
+        self._plan = plan
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> FaultPlan:
+        self._previous = os.environ.get(FAULT_PLAN_ENV)
+        os.environ[FAULT_PLAN_ENV] = self._plan.to_json()
+        return self._plan
+
+    def __exit__(self, *exc) -> None:
+        if self._previous is None:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+        else:
+            os.environ[FAULT_PLAN_ENV] = self._previous
+
+
+#: The plan active in *this* process (workers install via initializer).
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def install_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Install (or, with ``None``, remove) the process-local active plan."""
+    global _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The plan currently active in this process, if any."""
+    return _ACTIVE_PLAN
+
+
+def install_from_env() -> Optional[FaultPlan]:
+    """Install the plan serialised in :data:`FAULT_PLAN_ENV`, if present.
+
+    This is the pool-worker initializer hook
+    (:func:`repro.core.resilient.worker_initializer` calls it); with the
+    variable unset it is a no-op, so production pools pay nothing.
+    """
+    payload = os.environ.get(FAULT_PLAN_ENV)
+    plan = FaultPlan.from_json(payload) if payload else None
+    install_fault_plan(plan)
+    return plan
+
+
+def fault_point(point: str, key: int) -> None:
+    """Fire the first scheduled fault matching ``(point, key)``, if any.
+
+    Called by worker-side task code at its instrumentation points.  With no
+    plan installed this is one module-global read.  A matching ``"crash"``
+    spec terminates the process with ``os._exit(CRASH_EXIT_CODE)`` (no
+    cleanup, like a real crash); ``"hang"`` sleeps; ``"raise"`` raises
+    :class:`InjectedFault`.  Each spec fires at most ``times`` times
+    plan-wide (atomic marker files), after which it retires.
+    """
+    plan = _ACTIVE_PLAN
+    if plan is None:
+        return
+    for index, spec in enumerate(plan.specs):
+        if not spec.matches(point, key):
+            continue
+        if not plan._claim(index):
+            continue
+        if spec.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if spec.kind == "hang":
+            time.sleep(spec.hang_seconds)
+            return
+        raise InjectedFault(
+            f"injected fault at point {point!r} (key={key}, spec #{index})"
+        )

@@ -55,6 +55,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.faults import fault_point
 from repro.data.dataset import Dataset
 from repro.data.sharding import (
     SharedMatrix,
@@ -117,9 +118,18 @@ def _shard_filter_task(
     The arguments are metadata only (segment name, shard plan integers);
     the score matrix itself is read through shared memory.  Returns
     ``(shard_id, kept parent positions, seconds)``.
+
+    The three :func:`~repro.core.faults.fault_point` calls (``"task"`` at
+    entry, ``"attach"`` before the shared-memory attach, ``"kernel"`` before
+    the filter kernel) are no-ops unless a fault plan is installed in this
+    worker; they exist so the fault-injection suite can crash/hang/fail this
+    task at each interesting moment, keyed by shard id.
     """
     started = time.perf_counter()
+    fault_point("task", spec.shard_id)
+    fault_point("attach", spec.shard_id)
     matrix = _worker_matrix(matrix_spec)
+    fault_point("kernel", spec.shard_id)
     kept = shard_skyband(matrix.array, spec, k, tol=tol)
     return spec.shard_id, kept, time.perf_counter() - started
 
@@ -180,6 +190,9 @@ def solve_toprr_sharded(
     option_bounds: Optional[tuple] = None,
     rng=0,
     tol: Tolerance = DEFAULT_TOL,
+    shard_timeout: Optional[float] = None,
+    shard_retries: int = 2,
+    shard_fallback: bool = True,
 ):
     """Solve one TopRR instance with the option-space sharded pre-filter.
 
@@ -201,6 +214,17 @@ def solve_toprr_sharded(
         Process-pool size (defaults to ``n_shards`` capped at the CPU count).
     method, clip_to_unit_box, option_bounds, rng, tol:
         As in :func:`repro.core.toprr.solve_toprr`.
+    shard_timeout:
+        Per-batch deadline (seconds) for the process-pool shard tasks; a
+        still-running task past the deadline counts as hung and is retried
+        on a fresh pool.  ``None`` (default) waits indefinitely.
+    shard_retries:
+        Re-submissions allowed per shard task after its first failure.
+    shard_fallback:
+        When a shard stays unrecoverable, run it serially in-process
+        (bit-identical result; the query *degrades* instead of failing).
+        ``False`` raises :class:`~repro.exceptions.ShardExecutionError`
+        instead.
 
     Returns
     -------
@@ -233,6 +257,9 @@ def solve_toprr_sharded(
         skyband_cache_size=1,  # one entry: hands the installed filter to the solve
         result_cache_size=0,
         shard_cache_size=1,
+        shard_timeout=shard_timeout,
+        shard_retries=shard_retries,
+        shard_fallback=shard_fallback,
     )
     try:
         return engine.query(k, region)

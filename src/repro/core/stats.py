@@ -77,6 +77,26 @@ class SolverStats:
         (``0`` on the unsharded path).  The sharded path records its
         per-shard filter timings, candidate counts and executor under the
         ``shard_*`` keys of :attr:`extra`.
+    n_backend_fallbacks:
+        Regions whose closed-form geometry backend (polygon / polyhedron)
+        detected an inconsistent body — non-finite vertices, negative
+        area/volume, a broken face ring — and demoted itself to the generic
+        LP/qhull backend for that region.  Zero on healthy inputs.
+    n_retries:
+        Shard-task re-submissions the supervised pool performed for this
+        query (``0`` on the unsharded/healthy path).
+    n_worker_crashes:
+        Pool-worker crashes (``BrokenProcessPool``) observed while filtering
+        this query's shards.
+    n_pool_rebuilds:
+        Fresh process pools built after a crash or hang poisoned one.
+    n_degraded_shards:
+        Shard tasks that exhausted retries/rebuilds and ran serially
+        in-process instead (bit-identical results, reduced parallelism).
+    degraded:
+        True when at least one shard of this query fell back to serial
+        in-process execution — the result is still exact; the flag marks
+        that the parallel path was unhealthy.
     merge_seconds:
         Wall-clock time of the cross-shard top-k reconciliation (merging
         per-shard candidates back into the exact global r-skyband); ``0``
@@ -107,6 +127,12 @@ class SolverStats:
     n_qhull_calls: int = 0
     n_clip_calls: int = 0
     n_shards: int = 0
+    n_backend_fallbacks: int = 0
+    n_retries: int = 0
+    n_worker_crashes: int = 0
+    n_pool_rebuilds: int = 0
+    n_degraded_shards: int = 0
+    degraded: bool = False
     merge_seconds: float = 0.0
     seconds: float = 0.0
     extra: dict = field(default_factory=dict)
@@ -143,6 +169,12 @@ class SolverStats:
             "n_qhull_calls": self.n_qhull_calls,
             "n_clip_calls": self.n_clip_calls,
             "n_shards": self.n_shards,
+            "n_backend_fallbacks": self.n_backend_fallbacks,
+            "n_retries": self.n_retries,
+            "n_worker_crashes": self.n_worker_crashes,
+            "n_pool_rebuilds": self.n_pool_rebuilds,
+            "n_degraded_shards": self.n_degraded_shards,
+            "degraded": self.degraded,
             "merge_seconds": self.merge_seconds,
             "vertex_cache_hit_rate": self.vertex_cache_hit_rate,
             "seconds": self.seconds,

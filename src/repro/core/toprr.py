@@ -181,6 +181,9 @@ def solve_toprr(
     shard_strategy: str = "contiguous",
     shard_executor: str = "process",
     n_workers: Optional[int] = None,
+    shard_timeout: Optional[float] = None,
+    shard_retries: int = 2,
+    shard_fallback: bool = True,
 ) -> TopRRResult:
     """Solve a TopRR instance end to end.
 
@@ -223,6 +226,18 @@ def solve_toprr(
     n_workers:
         Process-pool size for ``shard_executor="process"``; ignored without
         ``shards``.
+    shard_timeout:
+        Per-batch deadline (seconds) for pool shard tasks; a still-running
+        task past it counts as hung and is retried on a fresh pool.
+        ``None`` waits indefinitely.  Ignored without ``shards``.
+    shard_retries:
+        Pool re-submissions allowed per shard task after its first failure;
+        ignored without ``shards``.
+    shard_fallback:
+        Degrade unrecoverable shard tasks to serial in-process execution
+        (default; bit-identical results) instead of raising
+        :class:`~repro.exceptions.ShardExecutionError`.  Ignored without
+        ``shards``.
 
     Returns
     -------
@@ -256,6 +271,9 @@ def solve_toprr(
             option_bounds=option_bounds,
             rng=rng,
             tol=tol,
+            shard_timeout=shard_timeout,
+            shard_retries=shard_retries,
+            shard_fallback=shard_fallback,
         )
 
     from repro.engine.engine import TopRREngine  # local import: engine builds on this module

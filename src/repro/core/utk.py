@@ -214,10 +214,13 @@ class UTKPartitioner:
                     continue
                 stack.append(child)
 
-        lp_calls, qhull_calls, clip_calls = geometry_counters.delta(geometry_before)
+        lp_calls, qhull_calls, clip_calls, backend_fallbacks = geometry_counters.delta(
+            geometry_before
+        )
         stats.n_lp_calls += lp_calls
         stats.n_qhull_calls += qhull_calls
         stats.n_clip_calls += clip_calls
+        stats.n_backend_fallbacks += backend_fallbacks
         stats.extra["n_cells"] = len(cells)
         return cells
 

@@ -36,9 +36,13 @@ This module provides the two building blocks that make that cheap:
 
 from __future__ import annotations
 
+import atexit
+import os
+import secrets
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +51,11 @@ from repro.exceptions import InvalidParameterError
 
 #: Shard assignment strategies accepted by :func:`plan_shards`.
 SHARD_STRATEGIES = ("contiguous", "hash")
+
+#: Name prefix of every shared-memory segment this package creates.  Naming
+#: the segments (instead of letting the stdlib pick ``psm_...``) is what lets
+#: tests and CI assert "no toprr segment leaked" by listing ``/dev/shm``.
+SEGMENT_PREFIX = "toprr_"
 
 
 def _splitmix64(values: np.ndarray) -> np.ndarray:
@@ -156,6 +165,56 @@ def shard_dataset(dataset: Dataset, spec: ShardSpec) -> Dataset:
 # ---------------------------------------------------------------------- #
 # shared-memory matrices
 # ---------------------------------------------------------------------- #
+#: Owner-side registry of live segments, by name.  Three independent paths
+#: release a segment through :func:`_release_segment` (explicit ``unlink``,
+#: the owner's ``weakref.finalize``, and the module ``atexit`` hook below);
+#: the registry pop makes whichever runs first win and the rest no-ops, so
+#: the coordinator unlinks exactly once on *every* exit path — normal
+#: return, exception, GC, or interpreter shutdown.
+_OWNED_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _segment_name() -> str:
+    """A fresh :data:`SEGMENT_PREFIX` segment name, unique per process."""
+    return f"{SEGMENT_PREFIX}{os.getpid():x}_{secrets.token_hex(4)}"
+
+
+def _release_segment(name: str) -> None:
+    """Close and unlink an owned segment by name (idempotent across all paths)."""
+    shm = _OWNED_SEGMENTS.pop(name, None)
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except (OSError, BufferError):  # pragma: no cover - mapping already torn down
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - segment already removed
+        pass
+
+
+@atexit.register
+def _cleanup_owned_segments() -> None:
+    """Interpreter-exit guard: unlink whatever owned segments remain."""
+    for name in list(_OWNED_SEGMENTS):
+        _release_segment(name)
+
+
+def leaked_segments() -> List[str]:
+    """Names of this package's shared-memory segments present on the host.
+
+    Lists ``/dev/shm`` for :data:`SEGMENT_PREFIX` entries — an empty list
+    after a (possibly crashing) sharded run is the no-leak invariant the
+    regression tests and the CI post-suite check assert.  Returns an empty
+    list on platforms without a ``/dev/shm`` (the check is advisory there).
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux hosts
+        return []
+    return sorted(entry for entry in os.listdir(shm_dir) if entry.startswith(SEGMENT_PREFIX))
+
+
 @dataclass(frozen=True)
 class SharedMatrixSpec:
     """Picklable handle of a shared-memory matrix (name + shape + dtype).
@@ -174,16 +233,26 @@ class SharedMatrix:
 
     Created by the sharded coordinator from an in-process array (one copy
     into the segment); workers attach via :func:`attach_shared_matrix` with
-    the :attr:`spec` and read the same pages zero-copy.  The owner must call
-    :meth:`unlink` (or use the instance as a context manager) when the query
-    is done — segments outlive processes otherwise.
+    the :attr:`spec` and read the same pages zero-copy.  The owner should
+    call :meth:`unlink` (or use the instance as a context manager) when the
+    query is done; if it never gets the chance — an exception, a dropped
+    reference, interpreter shutdown — the owned segment is still unlinked by
+    the finalizer/atexit registry (:func:`_release_segment`), and both
+    :meth:`close` and :meth:`unlink` are idempotent so error-path cleanup
+    can run on top of normal cleanup safely.
     """
 
     def __init__(self, shm: shared_memory.SharedMemory, shape: Tuple[int, int], owner: bool):
         self._shm = shm
         self.shape = tuple(int(s) for s in shape)
         self._owner = owner
+        self._mapping_closed = False
         self.array = np.ndarray(self.shape, dtype=np.float64, buffer=shm.buf)
+        if owner:
+            _OWNED_SEGMENTS[shm.name] = shm
+            self._finalizer = weakref.finalize(self, _release_segment, shm.name)
+        else:
+            self._finalizer = None
 
     @classmethod
     def create_from(cls, matrix: np.ndarray) -> "SharedMatrix":
@@ -191,7 +260,17 @@ class SharedMatrix:
         matrix = np.ascontiguousarray(matrix, dtype=np.float64)
         if matrix.ndim != 2:
             raise InvalidParameterError(f"shared matrices must be 2-D, got shape {matrix.shape}")
-        shm = shared_memory.SharedMemory(create=True, size=max(matrix.nbytes, 1))
+        shm = None
+        for _ in range(8):  # name collisions are ~2^-32; retry regardless
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=_segment_name(), create=True, size=max(matrix.nbytes, 1)
+                )
+                break
+            except FileExistsError:  # pragma: no cover - astronomically rare
+                continue
+        if shm is None:  # pragma: no cover - astronomically rare
+            raise InvalidParameterError("could not allocate a unique shared-memory segment name")
         shared = cls(shm, matrix.shape, owner=True)
         shared.array[:] = matrix
         return shared
@@ -201,16 +280,28 @@ class SharedMatrix:
         """The picklable attachment handle for worker processes."""
         return SharedMatrixSpec(name=self._shm.name, shape=self.shape, dtype="float64")
 
+    @property
+    def name(self) -> str:
+        """The segment name (a :data:`SEGMENT_PREFIX` entry under ``/dev/shm``)."""
+        return self._shm.name
+
     def close(self) -> None:
-        """Release this process's mapping (the segment itself survives)."""
+        """Release this process's mapping (idempotent; the segment survives)."""
         self.array = None
+        if self._mapping_closed:
+            return
+        self._mapping_closed = True
         self._shm.close()
 
     def unlink(self) -> None:
-        """Destroy the segment (owner only; call after all workers are done)."""
+        """Destroy the segment (owner only; idempotent; safe on error paths)."""
         self.close()
-        if self._owner:
-            self._shm.unlink()
+        if not self._owner:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _release_segment(self._shm.name)
 
     def __enter__(self) -> "SharedMatrix":
         return self

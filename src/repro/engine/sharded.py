@@ -39,11 +39,18 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.resilient import (
+    ResilienceConfig,
+    ResilienceStats,
+    SupervisedPool,
+    SupervisedTask,
+)
 from repro.core.sharded import (
     SHARD_EXECUTORS,
     _shard_filter_task,
@@ -60,6 +67,33 @@ from repro.pruning.rskyband import vertex_score_matrix
 from repro.utils.rng import RngLike
 from repro.utils.timer import Timer
 from repro.utils.tolerance import DEFAULT_TOL, Tolerance
+
+#: Count of pool shutdowns that failed inside :meth:`ShardedEngine.__del__`
+#: (surfaced through :meth:`ShardedEngine.pool_health` as
+#: ``n_close_failures`` so the condition is observable, not swallowed).
+_CLOSE_FAILURES = 0
+_WARNED_CLOSE_FAILURE = False
+
+
+def _note_close_failure(exc: BaseException) -> None:
+    """Count a ``__del__``-time shutdown failure; warn the first time only."""
+    global _CLOSE_FAILURES, _WARNED_CLOSE_FAILURE
+    _CLOSE_FAILURES += 1
+    if _WARNED_CLOSE_FAILURE:
+        return
+    _WARNED_CLOSE_FAILURE = True
+    try:
+        warnings.warn(
+            f"ShardedEngine failed to shut its worker pool down during garbage "
+            f"collection: {exc!r}. Further occurrences are counted in "
+            f"pool_health()['n_close_failures'] without warning again; call "
+            f"close() (or use the engine as a context manager) to shut pools "
+            f"down deterministically.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    except Exception:  # pragma: no cover - warnings machinery gone at shutdown
+        pass
 
 
 class ShardedEngine:
@@ -89,6 +123,17 @@ class ShardedEngine:
         pick up.
     shard_cache_size:
         Bound of each per-shard engine's r-skyband LRU.
+    shard_timeout:
+        Per-batch deadline (seconds) for pool shard tasks; expiry marks
+        still-running tasks as hung, abandons the pool and retries them on
+        a fresh one.  ``None`` (default) waits indefinitely.
+    shard_retries:
+        Re-submissions allowed per shard task after its first failure
+        (see :class:`~repro.core.resilient.ResilienceConfig`).
+    shard_fallback:
+        Run unrecoverable shard tasks serially in-process — bit-identical
+        results, the query degrades instead of failing (the default).
+        ``False`` raises :class:`~repro.exceptions.ShardExecutionError`.
 
     Examples
     --------
@@ -114,6 +159,9 @@ class ShardedEngine:
         skyband_cache_size: int = 128,
         result_cache_size: int = 64,
         shard_cache_size: int = 32,
+        shard_timeout: Optional[float] = None,
+        shard_retries: int = 2,
+        shard_fallback: bool = True,
     ):
         if executor not in SHARD_EXECUTORS:
             raise InvalidParameterError(
@@ -142,7 +190,10 @@ class ShardedEngine:
         self._shard_cache_size = int(shard_cache_size)
         self._shard_engines: Optional[List[TopRREngine]] = None
         self._shard_positions: List[Optional[np.ndarray]] = [None] * self.n_shards
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self.resilience = ResilienceConfig(
+            timeout=shard_timeout, max_retries=shard_retries, fallback=shard_fallback
+        )
+        self._supervisor: Optional[SupervisedPool] = None
         self._lock = threading.Lock()
         self.n_queries = 0
 
@@ -180,12 +231,12 @@ class ShardedEngine:
             self._shard_positions[shard_id] = self.plan[shard_id].positions()
         return self._shard_positions[shard_id]
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        """The lazily created process pool (``executor="process"`` only)."""
+    def _ensure_supervisor(self) -> SupervisedPool:
+        """The lazily created supervised pool (``executor="process"`` only)."""
         with self._lock:
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
-            return self._pool
+            if self._supervisor is None:
+                self._supervisor = SupervisedPool(self.n_workers, self.resilience)
+            return self._supervisor
 
     # ------------------------------------------------------------------ #
     # the sharded pre-filter
@@ -221,17 +272,31 @@ class ShardedEngine:
             else:
                 missing.append(shard_id)
 
+        resilience: Optional[ResilienceStats] = None
         if missing and self.executor == "process":
-            pool = self._ensure_pool()
+            supervisor = self._ensure_supervisor()
+
+            def serial_fallback(spec):
+                """In-process re-run of one shard (pure; bit-identical result)."""
+                started = time.perf_counter()
+                kept = shard_skyband(scores, spec, k, tol=self.tol)
+                return spec.shard_id, kept, time.perf_counter() - started
+
             with SharedMatrix.create_from(scores) as shared:
-                futures = [
-                    pool.submit(_shard_filter_task, shared.spec, self.plan[shard_id], k, self.tol)
+                tasks = [
+                    SupervisedTask(
+                        key=shard_id,
+                        fn=_shard_filter_task,
+                        args=(shared.spec, self.plan[shard_id], k, self.tol),
+                        fallback=lambda spec=self.plan[shard_id]: serial_fallback(spec),
+                    )
                     for shard_id in missing
                 ]
-                for future in futures:
-                    shard_id, kept_parent, seconds = future.result()
-                    candidates[shard_id] = kept_parent
-                    shard_seconds[shard_id] = seconds
+                results, resilience = supervisor.run(tasks)
+            for shard_id in missing:
+                _, kept_parent, seconds = results[shard_id]
+                candidates[shard_id] = kept_parent
+                shard_seconds[shard_id] = seconds
         else:
             for shard_id in missing:
                 piece = Timer().start()
@@ -261,6 +326,7 @@ class ShardedEngine:
             "shard_candidates": [int(c.shape[0]) for c in candidates],
             "shard_cache_hits": shard_hits,
             "n_candidates": int(sum(c.shape[0] for c in candidates)),
+            "resilience": resilience,
         }
 
     # ------------------------------------------------------------------ #
@@ -305,6 +371,15 @@ class ShardedEngine:
             stats.extra["shard_candidates"] = info["shard_candidates"]
             stats.extra["shard_cache_hits"] = info["shard_cache_hits"]
             stats.extra["n_candidates"] = info["n_candidates"]
+            resilience = info.get("resilience")
+            if resilience is not None:
+                stats.n_retries = resilience.n_retries
+                stats.n_worker_crashes = resilience.n_worker_crashes
+                stats.n_pool_rebuilds = resilience.n_pool_rebuilds
+                stats.n_degraded_shards = resilience.n_degraded_tasks
+                stats.degraded = resilience.degraded
+                if resilience.events:
+                    stats.extra["resilience_events"] = list(resilience.events)
         return result
 
     def query_batch(
@@ -362,12 +437,35 @@ class ShardedEngine:
                 if engine is not None:
                     engine.clear_caches()
 
+    def pool_health(self) -> dict:
+        """Live pool state plus lifetime supervision counters.
+
+        ``alive`` reports whether a (presumed healthy) pool currently
+        exists; the counters (``n_retries``, ``n_worker_crashes``,
+        ``n_pool_rebuilds``, ``n_degraded_tasks``, ``n_batches``, ...) are
+        lifetime totals across every batch this engine ran.
+        ``n_close_failures`` counts module-wide pool shutdowns that failed
+        during garbage collection (see the warn-once in ``__del__``).
+        """
+        with self._lock:
+            supervisor = self._supervisor
+        if supervisor is None:
+            health = dict(
+                {"alive": False, "n_workers": self.n_workers, "n_batches": 0},
+                **ResilienceStats().as_dict(),
+            )
+        else:
+            health = supervisor.health()
+        health["executor"] = self.executor
+        health["n_close_failures"] = _CLOSE_FAILURES
+        return health
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent; caches stay usable)."""
         with self._lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+            supervisor, self._supervisor = self._supervisor, None
+        if supervisor is not None:
+            supervisor.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -376,10 +474,16 @@ class ShardedEngine:
         self.close()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
+        if getattr(self, "_lock", None) is None:
+            return  # the constructor raised before the engine owned resources
         try:
             self.close()
-        except Exception:
-            pass
+        except (OSError, RuntimeError) as exc:
+            # Everything close() legitimately raises at interpreter shutdown
+            # (dead queue fds, executor internals already collected).  Other
+            # exception types would be real bugs — let them surface instead
+            # of swallowing them.
+            _note_close_failure(exc)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

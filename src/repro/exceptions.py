@@ -23,3 +23,14 @@ class InfeasibleProblemError(ReproError):
 
 class InvalidParameterError(ReproError):
     """Raised when a user-supplied parameter is out of its valid domain."""
+
+
+class ShardExecutionError(ReproError):
+    """Raised when a shard task stays unrecoverable and serial fallback is disabled.
+
+    The supervised pool (:class:`repro.core.resilient.SupervisedPool`) only
+    raises this after walking the whole degradation ladder — retries, pool
+    rebuild — with the in-process serial fallback explicitly turned off
+    (``--no-fallback``); with the fallback enabled (the default) shard
+    failures degrade instead of raising.
+    """

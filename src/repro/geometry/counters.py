@@ -26,11 +26,12 @@ from typing import NamedTuple
 
 
 class GeometrySnapshot(NamedTuple):
-    """Immutable view of the three per-thread geometry counters."""
+    """Immutable view of the four per-thread geometry counters."""
 
     n_lp_calls: int
     n_qhull_calls: int
     n_clip_calls: int
+    n_backend_fallbacks: int
 
 
 class GeometryCounters(threading.local):
@@ -48,16 +49,25 @@ class GeometryCounters(threading.local):
         Closed-form clipping passes, polygon or polyhedron (one per
         halfspace clip; a *cut* — one pass emitting both children — also
         counts one).
+    n_backend_fallbacks:
+        Closed-form backends demoted to the generic LP/qhull path because a
+        consistency check caught a numerically broken body (non-finite
+        vertices, negative area/volume, a torn face ring).  Zero on healthy
+        inputs; nonzero means results are still exact but some regions paid
+        the generic-path price.
     """
 
     def __init__(self):
         self.n_lp_calls = 0
         self.n_qhull_calls = 0
         self.n_clip_calls = 0
+        self.n_backend_fallbacks = 0
 
     def snapshot(self) -> GeometrySnapshot:
         """Current totals, for delta accounting around a solve."""
-        return GeometrySnapshot(self.n_lp_calls, self.n_qhull_calls, self.n_clip_calls)
+        return GeometrySnapshot(
+            self.n_lp_calls, self.n_qhull_calls, self.n_clip_calls, self.n_backend_fallbacks
+        )
 
     def delta(self, since: GeometrySnapshot) -> GeometrySnapshot:
         """Counts accumulated since ``since`` (an earlier :meth:`snapshot`)."""
@@ -65,6 +75,7 @@ class GeometryCounters(threading.local):
             self.n_lp_calls - since.n_lp_calls,
             self.n_qhull_calls - since.n_qhull_calls,
             self.n_clip_calls - since.n_clip_calls,
+            self.n_backend_fallbacks - since.n_backend_fallbacks,
         )
 
     def reset(self) -> None:
@@ -72,6 +83,7 @@ class GeometryCounters(threading.local):
         self.n_lp_calls = 0
         self.n_qhull_calls = 0
         self.n_clip_calls = 0
+        self.n_backend_fallbacks = 0
 
 
 #: Process-wide (per-thread) geometry counters.

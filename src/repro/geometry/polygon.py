@@ -219,6 +219,31 @@ class Polygon:
         return f"Polygon(n_vertices={self.n_vertices}, area={self.area():.3g})"
 
 
+def polygon_is_consistent(polygon: Polygon) -> bool:
+    """Cheap structural health check of a polygon backend body.
+
+    Returns False when the representation can no longer be trusted: a
+    non-finite vertex coordinate (NaN/inf crept in through degenerate
+    interpolation), or a full polygon whose *signed* shoelace area is
+    negative beyond noise — the class invariant is counter-clockwise order,
+    so a clockwise ring means the ordering broke and every downstream
+    closed-form answer (area, centroid, clip classification) would be wrong.
+    The polytope layer runs this before trusting the backend and demotes the
+    region to the generic LP/qhull path on failure
+    (:meth:`~repro.geometry.polytope.ConvexPolytope` backend degradation).
+    """
+    points = polygon.points
+    if not bool(np.isfinite(points).all()):
+        return False
+    if points.shape[0] >= 3:
+        x, y = points[:, 0], points[:, 1]
+        signed = 0.5 * float(np.dot(x, np.roll(y, -1)) - np.dot(np.roll(x, -1), y))
+        scale = max(1.0, float(np.abs(points).max()) ** 2)
+        if signed < -1e-9 * scale:
+            return False
+    return True
+
+
 def _merged(points: np.ndarray, labels: np.ndarray) -> Polygon:
     """Drop zero-length edges (consecutive vertices merged as numerical noise).
 

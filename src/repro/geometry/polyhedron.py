@@ -351,6 +351,83 @@ def _chain_cap(
     return ring if len(ring) >= 3 else None
 
 
+def _canonical_vertex_ids(points: np.ndarray) -> np.ndarray:
+    """Map each stored vertex to a canonical id, merging geometric duplicates.
+
+    Face rings do not share vertex indices: the clipper emits per-face
+    copies of every corner, so one geometric vertex typically appears under
+    several indices.  Union-find over pairs within a relative tolerance
+    (``1e-9`` of the coordinate scale) collapses those copies so that edge
+    identity can be decided geometrically instead of by raw index.  The
+    quadratic pairing is fine here — backend bodies carry tens of vertices.
+    """
+    m = points.shape[0]
+    parent = np.arange(m)
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    if m:
+        thresh = 1e-9 * max(1.0, float(np.abs(points).max()))
+        close = np.abs(points[:, None, :] - points[None, :, :]).max(axis=2) <= thresh
+        for i, j in zip(*np.nonzero(np.triu(close, k=1))):
+            ri, rj = find(int(i)), find(int(j))
+            if ri != rj:
+                parent[max(ri, rj)] = min(ri, rj)
+    return np.array([find(i) for i in range(m)], dtype=int)
+
+
+def polyhedron_is_consistent(polyhedron: Polyhedron) -> bool:
+    """Cheap structural health check of a polyhedron backend body.
+
+    Returns False when the representation can no longer be trusted:
+    non-finite vertex coordinates, a face ring with fewer than three
+    vertices, out-of-range or repeated indices, or a torn edge structure —
+    in a closed polyhedral surface every undirected edge belongs to exactly
+    two faces, so any other count means a clip left the face complex broken
+    and downstream closed-form answers (volume, Chebyshev facet tuples,
+    further clips) would be wrong.  Because face rings store per-face
+    *copies* of shared corners, edges are identified by canonical geometric
+    vertex (duplicates merged within a relative ``1e-9`` tolerance), and
+    zero-length edges between merged copies are ignored.  Sliver faces that
+    collapse to fewer than three distinct geometric vertices (zero area, so
+    no edge of theirs borders a second face) are skipped rather than
+    counted.  Degenerate bodies (points without faces) pass: they are valid
+    lower-dimensional placeholders.  The polytope layer runs this before trusting the backend
+    and demotes the region to the generic LP/qhull path on failure
+    (:meth:`~repro.geometry.polytope.ConvexPolytope` backend degradation).
+    """
+    points = polyhedron.points
+    if not bool(np.isfinite(points).all()):
+        return False
+    if not polyhedron.faces:
+        return True
+    n = points.shape[0]
+    canonical = _canonical_vertex_ids(points)
+    edge_counts: dict = {}
+    for ring, _label in polyhedron.faces:
+        if ring.shape[0] < 3:
+            return False
+        if ring.min(initial=0) < 0 or ring.max(initial=-1) >= n:
+            return False
+        if np.unique(ring).shape[0] != ring.shape[0]:
+            return False
+        if np.unique(canonical[ring]).shape[0] < 3:
+            # Zero-area sliver: geometrically a point or segment, so none of
+            # its edges borders a second face — it cannot tear the surface.
+            continue
+        for a, b in zip(ring, np.roll(ring, -1)):
+            ca, cb = int(canonical[a]), int(canonical[b])
+            if ca == cb:
+                continue
+            key = _edge_key(ca, cb)
+            edge_counts[key] = edge_counts.get(key, 0) + 1
+    return all(count == 2 for count in edge_counts.values())
+
+
 def polyhedron_from_halfspaces(
     A: np.ndarray,
     b: np.ndarray,

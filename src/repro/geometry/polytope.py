@@ -59,13 +59,20 @@ import numpy as np
 
 from repro.exceptions import DegeneratePolytopeError, EmptyRegionError
 from repro.geometry.chebyshev import chebyshev_center, maximize_linear
+from repro.geometry.counters import geometry_counters
 from repro.geometry.halfspace import Halfspace
 from repro.geometry.hyperplane import Hyperplane
-from repro.geometry.polygon import Polygon, polygon_chebyshev, polygon_from_halfspaces
+from repro.geometry.polygon import (
+    Polygon,
+    polygon_chebyshev,
+    polygon_from_halfspaces,
+    polygon_is_consistent,
+)
 from repro.geometry.polyhedron import (
     Polyhedron,
     polyhedron_chebyshev,
     polyhedron_from_halfspaces,
+    polyhedron_is_consistent,
 )
 from repro.geometry.vertex_enum import (
     canonicalize_polygon_vertices,
@@ -81,6 +88,26 @@ BACKENDS = ("auto", "qhull", "polygon", "polyhedron")
 
 #: Module-wide default backend specification (see :func:`set_default_backend`).
 _DEFAULT_BACKEND = "auto"
+
+#: Warn-once latch for closed-form backend demotions (every demotion is still
+#: counted in ``geometry_counters.n_backend_fallbacks``).
+_WARNED_BACKEND_FALLBACK = False
+
+
+def _warn_backend_fallback_once(kind: str) -> None:
+    """Warn the first time a closed-form backend body fails its health check."""
+    global _WARNED_BACKEND_FALLBACK
+    if _WARNED_BACKEND_FALLBACK:
+        return
+    _WARNED_BACKEND_FALLBACK = True
+    warnings.warn(
+        f"inconsistent {kind} backend body detected; this region falls back to "
+        f"the generic LP/qhull geometry path (results stay exact). Further "
+        f"fallbacks are counted in SolverStats.n_backend_fallbacks without "
+        f"warning again.",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 def default_backend() -> str:
@@ -215,6 +242,7 @@ class ConvexPolytope:
         self._vertices = None if vertices is None else np.asarray(vertices, dtype=float)
         self._chebyshev: Optional[Tuple[Optional[np.ndarray], float]] = None
         self._incidence: Optional[np.ndarray] = None
+        self._backend_health: Optional[bool] = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -299,14 +327,55 @@ class ConvexPolytope:
             self._polyhedron = polyhedron_from_halfspaces(self._A, self._b, tol=self._tol)
         return self._polyhedron
 
+    def _demote_backend(self) -> None:
+        """Numeric graceful degradation: drop to the generic LP/qhull path.
+
+        Called when the closed-form body fails its consistency check.  The
+        demotion is per-region: derived polytopes (children, intersections)
+        keep the original backend *specification* and rebuild their own body
+        from their H-representation, so one broken region never poisons the
+        rest of the split tree.  Counted in
+        ``geometry_counters.n_backend_fallbacks`` (surfaced as
+        ``SolverStats.n_backend_fallbacks``); warns once per process.
+        """
+        kind = "polygon" if self._use_polygon else "polyhedron"
+        self._use_polygon = False
+        self._use_polyhedron = False
+        self._polygon = None
+        self._polyhedron = None
+        self._chebyshev = None
+        geometry_counters.n_backend_fallbacks += 1
+        _warn_backend_fallback_once(kind)
+
+    def _backend_body_ok(self) -> bool:
+        """Validate the active closed-form body once; demote this region on failure."""
+        if self._backend_health is None:
+            if self._use_polygon:
+                self._backend_health = polygon_is_consistent(self._ensure_polygon())
+            elif self._use_polyhedron:
+                self._backend_health = polyhedron_is_consistent(self._ensure_polyhedron())
+            else:
+                self._backend_health = True
+            if not self._backend_health:
+                self._demote_backend()
+        return self._backend_health
+
+    def _polygon_backend_active(self) -> bool:
+        """True when the polygon backend is selected *and* its body is healthy."""
+        return self._use_polygon and self._backend_body_ok()
+
+    def _polyhedron_backend_active(self) -> bool:
+        """True when the polyhedron backend is selected *and* its body is healthy."""
+        return self._use_polyhedron and self._backend_body_ok()
+
     def _cheb(self) -> Tuple[Optional[np.ndarray], float]:
         """Cached ``(centre, radius)`` from the active backend."""
         if self._chebyshev is None:
-            if self._use_polygon:
+            if self._polygon_backend_active():
                 self._chebyshev = polygon_chebyshev(
                     self._A, self._b, self._ensure_polygon(), tol=self._tol
                 )
-            elif self._use_polyhedron:
+            elif self._polyhedron_backend_active():
                 self._chebyshev = polyhedron_chebyshev(
                     self._A, self._b, self._ensure_polyhedron(), tol=self._tol
                 )
@@ -360,11 +429,11 @@ class ConvexPolytope:
                 raise DegeneratePolytopeError(
                     "cannot enumerate vertices of a lower-dimensional polytope"
                 )
-            elif self._use_polygon and not self._ensure_polygon().touches_bound():
+            elif self._polygon_backend_active() and not self._ensure_polygon().touches_bound():
                 self._vertices = canonicalize_polygon_vertices(
                     self._A, self._b, self._ensure_polygon().points, tol=self._tol
                 )
-            elif self._use_polyhedron and not self._ensure_polyhedron().touches_bound():
+            elif self._polyhedron_backend_active() and not self._ensure_polyhedron().touches_bound():
                 self._vertices = canonicalize_polyhedron_vertices(
                     self._A, self._b, self._ensure_polyhedron().points, tol=self._tol
                 )
@@ -417,9 +486,9 @@ class ConvexPolytope:
         vertex list, the polyhedron backend with a closed-form fan of
         face-pyramids; the generic path builds a qhull convex hull.
         """
-        if self._use_polyhedron and not self._ensure_polyhedron().touches_bound():
+        if self._polyhedron_backend_active() and not self._ensure_polyhedron().touches_bound():
             return self._ensure_polyhedron().volume()
-        if self._use_polygon and not self._ensure_polygon().touches_bound():
+        if self._polygon_backend_active() and not self._ensure_polygon().touches_bound():
             try:
                 verts = self.vertices
             except DegeneratePolytopeError:
@@ -464,8 +533,10 @@ class ConvexPolytope:
         the generic path solves an LP.
         """
         direction = np.asarray(direction, dtype=float)
-        closed_form = (self._use_polygon and not self._ensure_polygon().touches_bound()) or (
-            self._use_polyhedron and not self._ensure_polyhedron().touches_bound()
+        closed_form = (
+            self._polygon_backend_active() and not self._ensure_polygon().touches_bound()
+        ) or (
+            self._polyhedron_backend_active() and not self._ensure_polyhedron().touches_bound()
         )
         if closed_form:
             try:
@@ -493,11 +564,11 @@ class ConvexPolytope:
         b = np.concatenate([self._b, [halfspace.offset]])
         polygon = None
         polyhedron = None
-        if self._use_polygon:
+        if self._polygon_backend_active():
             polygon = self._ensure_polygon().clip(
                 halfspace.normal, halfspace.offset, label=self._A.shape[0], tol=self._tol
             )
-        elif self._use_polyhedron:
+        elif self._polyhedron_backend_active():
             polyhedron = self._ensure_polyhedron().clip(
                 halfspace.normal, halfspace.offset, label=self._A.shape[0], tol=self._tol
             )
@@ -525,7 +596,7 @@ class ConvexPolytope:
         b = np.concatenate([self._b, extra_b])
         polygon = None
         polyhedron = None
-        if self._use_polygon:
+        if self._polygon_backend_active():
             polygon = self._ensure_polygon()
             for index, halfspace in enumerate(halfspaces):
                 polygon = polygon.clip(
@@ -536,7 +607,7 @@ class ConvexPolytope:
                 )
                 if polygon.is_empty():
                     break
-        elif self._use_polyhedron:
+        elif self._polyhedron_backend_active():
             polyhedron = self._ensure_polyhedron()
             for index, halfspace in enumerate(halfspaces):
                 polyhedron = polyhedron.clip(
@@ -566,7 +637,7 @@ class ConvexPolytope:
         """
         below_halfspace = Halfspace.from_hyperplane(hyperplane)
         above_halfspace = Halfspace(-hyperplane.normal, -hyperplane.offset, normalize=False)
-        if self._use_polygon or self._use_polyhedron:
+        if self._polygon_backend_active() or self._polyhedron_backend_active():
             kind = "polygon" if self._use_polygon else "polyhedron"
             body = self._ensure_polygon() if self._use_polygon else self._ensure_polyhedron()
             below_body, above_body = body.cut(
@@ -623,14 +694,14 @@ class ConvexPolytope:
         polygon = None
         polyhedron = None
         new_index = np.cumsum(keep) - 1
-        if self._use_polygon and self._polygon is not None:
+        if self._polygon_backend_active() and self._polygon is not None:
             # Re-index the polygon's edge labels to the surviving rows.  Edge
             # labels always refer to facets tight at two vertices, so they
             # are never dropped; synthetic (negative) labels pass through.
             labels = self._polygon.edge_labels
             remapped = np.where(labels >= 0, new_index[np.clip(labels, 0, None)], labels)
             polygon = Polygon(self._polygon.points, remapped)
-        elif self._use_polyhedron and self._polyhedron is not None:
+        elif self._polyhedron_backend_active() and self._polyhedron is not None:
             # Same re-indexing for face labels (tight at >= 3 vertices, so
             # never dropped); synthetic safety-cube labels pass through.
             polyhedron = Polyhedron(

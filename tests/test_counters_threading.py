@@ -44,7 +44,7 @@ def test_raw_counters_are_thread_local():
         assert observed[i].n_lp_calls == 10 * (i + 1)
     # Nothing leaked into the caller's thread.
     caller = geometry_counters.snapshot()
-    assert caller == (0, 0, 0)
+    assert caller == (0, 0, 0, 0)
 
 
 def _regions(d: int):
@@ -83,7 +83,7 @@ def test_query_batch_thread_counters_do_not_leak(d):
 
     # The workers' geometry activity must not appear on the caller's thread.
     caller = geometry_counters.snapshot()
-    assert caller == (0, 0, 0)
+    assert caller == (0, 0, 0, 0)
 
     # ... and each worker's SolverStats must match the serial solve of the
     # same query exactly: no counts missing, none inherited from siblings.

@@ -1,0 +1,276 @@
+"""Numeric graceful degradation of the closed-form geometry backends.
+
+Covers the structural health validators (:func:`polygon_is_consistent`,
+:func:`polyhedron_is_consistent`) in both directions — corrupted bodies are
+rejected, healthy-but-gnarly bodies (per-face vertex copies, zero-area
+sliver faces) are accepted — and the polytope-level demotion: a region whose
+closed-form body fails validation falls back to the generic LP/qhull path
+with identical answers, a bumped ``n_backend_fallbacks`` counter, and a
+once-per-process warning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.geometry.polytope as polytope_module
+from repro.core.toprr import solve_toprr
+from repro.data.generators import generate_independent
+from repro.geometry.counters import geometry_counters
+from repro.geometry.polygon import Polygon, polygon_from_halfspaces, polygon_is_consistent
+from repro.geometry.polyhedron import (
+    Polyhedron,
+    polyhedron_from_halfspaces,
+    polyhedron_is_consistent,
+)
+from repro.geometry.polytope import ConvexPolytope, use_backend
+from repro.preference.random_regions import random_hypercube_region
+
+
+def _unit_square_polygon() -> Polygon:
+    A = np.vstack([np.eye(2), -np.eye(2)])
+    b = np.array([1.0, 1.0, 0.0, 0.0])
+    return polygon_from_halfspaces(A, b)
+
+
+def _unit_cube_polyhedron() -> Polyhedron:
+    A = np.vstack([np.eye(3), -np.eye(3)])
+    b = np.array([1.0, 1.0, 1.0, 0.0, 0.0, 0.0])
+    return polyhedron_from_halfspaces(A, b)
+
+
+class TestPolygonValidator:
+    def test_healthy_square_passes(self):
+        assert polygon_is_consistent(_unit_square_polygon())
+
+    def test_degenerate_bodies_pass(self):
+        assert polygon_is_consistent(Polygon(np.empty((0, 2)), np.empty(0, dtype=int)))
+        assert polygon_is_consistent(Polygon(np.array([[0.5, 0.5]]), np.array([0])))
+
+    def test_nan_vertex_fails(self):
+        square = _unit_square_polygon()
+        points = square.points.copy()
+        points[0, 0] = np.nan
+        assert not polygon_is_consistent(Polygon(points, square.edge_labels))
+
+    def test_inf_vertex_fails(self):
+        square = _unit_square_polygon()
+        points = square.points.copy()
+        points[1, 1] = np.inf
+        assert not polygon_is_consistent(Polygon(points, square.edge_labels))
+
+    def test_clockwise_ring_fails(self):
+        # The class invariant is counter-clockwise order; a reversed ring
+        # means the ordering broke somewhere upstream.
+        square = _unit_square_polygon()
+        assert not polygon_is_consistent(Polygon(square.points[::-1], square.edge_labels))
+
+
+class TestPolyhedronValidator:
+    def test_healthy_cube_passes(self):
+        assert polyhedron_is_consistent(_unit_cube_polyhedron())
+
+    def test_degenerate_bodies_pass(self):
+        assert polyhedron_is_consistent(Polyhedron(np.empty((0, 3)), []))
+        assert polyhedron_is_consistent(Polyhedron(np.array([[0.1, 0.2, 0.3]]), []))
+
+    def test_nan_vertex_fails(self):
+        cube = _unit_cube_polyhedron()
+        points = cube.points.copy()
+        points[0, 2] = np.nan
+        assert not polyhedron_is_consistent(Polyhedron(points, cube.faces))
+
+    def test_dropped_face_fails(self):
+        # Removing one face tears the surface: its edges are now one-covered.
+        cube = _unit_cube_polyhedron()
+        assert not polyhedron_is_consistent(Polyhedron(cube.points, cube.faces[1:]))
+
+    def test_short_ring_fails(self):
+        cube = _unit_cube_polyhedron()
+        faces = list(cube.faces)
+        ring, label = faces[0]
+        faces[0] = (ring[:2], label)
+        assert not polyhedron_is_consistent(Polyhedron(cube.points, faces))
+
+    def test_out_of_range_index_fails(self):
+        cube = _unit_cube_polyhedron()
+        faces = list(cube.faces)
+        ring, label = faces[0]
+        bad = ring.copy()
+        bad[0] = cube.n_vertices + 7
+        faces[0] = (bad, label)
+        assert not polyhedron_is_consistent(Polyhedron(cube.points, faces))
+
+    def test_repeated_index_in_ring_fails(self):
+        cube = _unit_cube_polyhedron()
+        faces = list(cube.faces)
+        ring, label = faces[0]
+        bad = ring.copy()
+        bad[1] = bad[0]
+        faces[0] = (bad, label)
+        assert not polyhedron_is_consistent(Polyhedron(cube.points, faces))
+
+    def test_per_face_vertex_copies_pass(self):
+        # Regression: the clipper emits per-face *copies* of shared corners,
+        # so raw indices never agree across faces.  Edge identity must be
+        # geometric — a body whose faces each reference their own copy of
+        # every vertex is perfectly healthy.
+        cube = _unit_cube_polyhedron()
+        n = cube.n_vertices
+        doubled = np.vstack([cube.points, cube.points])
+        faces = [
+            (ring + (n if face_index % 2 else 0), label)
+            for face_index, (ring, label) in enumerate(cube.faces)
+        ]
+        assert polyhedron_is_consistent(Polyhedron(doubled, faces))
+
+    def test_zero_area_sliver_face_passes(self):
+        # Regression: near-degenerate clips can leave a face whose ring
+        # collapses to a segment (distinct indices, coincident coordinates).
+        # It has no area and borders nothing, so it must not read as a tear.
+        cube = _unit_cube_polyhedron()
+        n = cube.n_vertices
+        doubled = np.vstack([cube.points, cube.points])
+        faces = [(ring, label) for ring, label in cube.faces]
+        a, b = int(faces[0][0][0]), int(faces[0][0][1])
+        faces.append((np.array([a, b, b + n, a + n]), 99))
+        assert polyhedron_is_consistent(Polyhedron(doubled, faces))
+
+    def test_near_duplicate_coordinates_merge(self):
+        # Copies that differ by strictly sub-tolerance noise still merge.
+        cube = _unit_cube_polyhedron()
+        n = cube.n_vertices
+        jitter = np.full((n, 3), 1e-13)
+        doubled = np.vstack([cube.points, cube.points + jitter])
+        faces = [
+            (ring + (n if face_index % 2 else 0), label)
+            for face_index, (ring, label) in enumerate(cube.faces)
+        ]
+        assert polyhedron_is_consistent(Polyhedron(doubled, faces))
+
+
+def _corrupt_polygon(polytope: ConvexPolytope) -> None:
+    """Plant a NaN-vertex polygon body inside ``polytope`` (test-only)."""
+    body = polytope._ensure_polygon()
+    points = body.points.copy()
+    points[0, 0] = np.nan
+    polytope._polygon = Polygon(points, body.edge_labels)
+
+
+def _corrupt_polyhedron(polytope: ConvexPolytope) -> None:
+    """Tear one face off ``polytope``'s polyhedron body (test-only)."""
+    body = polytope._ensure_polyhedron()
+    polytope._polyhedron = Polyhedron(body.points, body.faces[1:])
+
+
+class TestPolytopeDemotion:
+    @pytest.fixture(autouse=True)
+    def _quiet_warn_latch(self, monkeypatch):
+        # Each test starts with the once-per-process warning already spent,
+        # except where the test flips it back to assert the warning itself.
+        monkeypatch.setattr(polytope_module, "_WARNED_BACKEND_FALLBACK", True)
+
+    def test_corrupt_polygon_demotes_to_qhull_with_exact_answers(self):
+        box = ConvexPolytope.from_box([0.0, 0.0], [1.0, 1.0])
+        twin = ConvexPolytope(*box.halfspaces, backend="qhull")
+        assert box.backend == "polygon"
+        _corrupt_polygon(box)
+        before = geometry_counters.snapshot()
+        vertices = box.vertices
+        assert box.backend == "qhull"
+        assert np.array_equal(vertices, twin.vertices)
+        assert geometry_counters.delta(before)[3] == 1
+
+    def test_corrupt_polyhedron_demotes_to_qhull_with_exact_answers(self):
+        box = ConvexPolytope.from_box([0.0] * 3, [1.0] * 3)
+        twin = ConvexPolytope(*box.halfspaces, backend="qhull")
+        assert box.backend == "polyhedron"
+        _corrupt_polyhedron(box)
+        before = geometry_counters.snapshot()
+        vertices = box.vertices
+        assert box.backend == "qhull"
+        assert np.array_equal(vertices, twin.vertices)
+        assert box.chebyshev_radius == pytest.approx(twin.chebyshev_radius)
+        assert geometry_counters.delta(before)[3] == 1
+
+    def test_healthy_bodies_are_not_demoted(self):
+        box = ConvexPolytope.from_box([0.0] * 3, [1.0] * 3)
+        before = geometry_counters.snapshot()
+        assert box.vertices.shape == (8, 3)
+        assert box.backend == "polyhedron"
+        assert geometry_counters.delta(before)[3] == 0
+
+    def test_validation_happens_once_per_region(self):
+        box = ConvexPolytope.from_box([0.0] * 3, [1.0] * 3)
+        _corrupt_polyhedron(box)
+        before = geometry_counters.snapshot()
+        box.vertices
+        box.volume()
+        box.chebyshev_radius
+        assert geometry_counters.delta(before)[3] == 1  # demoted exactly once
+
+    def test_demotion_warns_once(self, monkeypatch):
+        monkeypatch.setattr(polytope_module, "_WARNED_BACKEND_FALLBACK", False)
+        first = ConvexPolytope.from_box([0.0] * 3, [1.0] * 3)
+        _corrupt_polyhedron(first)
+        with pytest.warns(RuntimeWarning, match="inconsistent polyhedron"):
+            first.vertices
+        second = ConvexPolytope.from_box([0.0] * 3, [1.0] * 3)
+        _corrupt_polyhedron(second)
+        with warnings_none():
+            second.vertices
+
+    def test_derived_polytope_keeps_backend_spec(self):
+        # Demotion is per-region: a child rebuilt from (A, b) starts fresh
+        # on the closed-form backend instead of inheriting the demotion.
+        box = ConvexPolytope.from_box([0.0] * 3, [1.0] * 3)
+        _corrupt_polyhedron(box)
+        box.vertices
+        assert box.backend == "qhull"
+        child = ConvexPolytope(*box.halfspaces, backend=box._backend_spec)
+        assert child.backend in ("polyhedron", "auto") or child._use_polyhedron
+        assert child.vertices.shape == (8, 3)
+
+
+class warnings_none:
+    """Context manager asserting that no warning is raised inside it."""
+
+    def __enter__(self):
+        import warnings
+
+        self._catcher = warnings.catch_warnings(record=True)
+        self._records = self._catcher.__enter__()
+        import warnings as w
+
+        w.simplefilter("always")
+        return self
+
+    def __exit__(self, *exc):
+        self._catcher.__exit__(*exc)
+        assert self._records == [], f"unexpected warnings: {self._records}"
+
+
+class TestSolverLevelDegradation:
+    def test_corrupted_backend_solve_matches_qhull_reference(self, monkeypatch):
+        # Force every polyhedron body to read as corrupt: the solver must
+        # demote each region to the LP/qhull path, count every demotion, and
+        # still produce byte-identical results to a pure qhull-backend run.
+        dataset = generate_independent(200, 3, rng=61)
+        region = random_hypercube_region(3, 0.08, rng=62)
+        with use_backend("qhull"):
+            reference = solve_toprr(dataset, 4, region)
+        monkeypatch.setattr(polytope_module, "_WARNED_BACKEND_FALLBACK", True)
+        monkeypatch.setattr(polytope_module, "polygon_is_consistent", lambda body: False)
+        monkeypatch.setattr(polytope_module, "polyhedron_is_consistent", lambda body: False)
+        degraded = solve_toprr(dataset, 4, region)
+        assert degraded.vertices_reduced.tobytes() == reference.vertices_reduced.tobytes()
+        assert degraded.thresholds.tobytes() == reference.thresholds.tobytes()
+        assert degraded.stats.n_backend_fallbacks > 0
+        assert degraded.stats.as_dict()["n_backend_fallbacks"] > 0
+
+    def test_healthy_solve_counts_zero_fallbacks(self):
+        dataset = generate_independent(200, 3, rng=63)
+        region = random_hypercube_region(3, 0.08, rng=64)
+        result = solve_toprr(dataset, 4, region)
+        assert result.stats.n_backend_fallbacks == 0

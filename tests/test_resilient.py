@@ -1,0 +1,300 @@
+"""Unit tests for the supervision layer (:mod:`repro.core.resilient`).
+
+Backoff determinism is pinned with a pure function check (no sleeping); the
+:class:`SupervisedPool` ladder — retry, pool rebuild, serial degradation,
+hard failure — is exercised against an in-process scripted pool double, so
+every failure mode is deterministic and instant.  The real-process
+integration (actual crashed workers, shared memory, bit-identical results)
+lives in ``tests/test_fault_injection.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.core import faults
+from repro.core.resilient import (
+    ResilienceConfig,
+    ResilienceStats,
+    SupervisedPool,
+    SupervisedTask,
+    backoff_delay,
+    worker_initializer,
+)
+from repro.exceptions import InvalidParameterError, ShardExecutionError
+
+
+class TestBackoffDelay:
+    def test_deterministic(self):
+        config = ResilienceConfig(seed=7)
+        for key in (0, 1, "shard-3"):
+            for i in range(4):
+                assert backoff_delay(config, key, i) == backoff_delay(config, key, i)
+
+    def test_bounds(self):
+        config = ResilienceConfig(
+            backoff_base=0.05, backoff_factor=2.0, backoff_cap=2.0, jitter=0.25
+        )
+        for i in range(8):
+            raw = min(2.0, 0.05 * 2.0**i)
+            delay = backoff_delay(config, 3, i)
+            assert raw <= delay < raw * 1.25
+
+    def test_keys_desynchronise(self):
+        config = ResilienceConfig()
+        delays = {backoff_delay(config, key, 1) for key in range(16)}
+        assert len(delays) > 1
+
+    def test_seed_changes_jitter(self):
+        a = backoff_delay(ResilienceConfig(seed=0), 5, 2)
+        b = backoff_delay(ResilienceConfig(seed=1), 5, 2)
+        assert a != b
+
+    def test_negative_retry_index_is_free(self):
+        assert backoff_delay(ResilienceConfig(), 0, -1) == 0.0
+
+    def test_no_wall_clock_dependence(self):
+        # Pure function of (config, key, index): two widely separated calls
+        # agree without any mutable RNG state in between.
+        config = ResilienceConfig(seed=99)
+        first = [backoff_delay(config, k, 1) for k in range(4)]
+        for _ in range(100):
+            backoff_delay(config, 12345, 3)
+        assert [backoff_delay(config, k, 1) for k in range(4)] == first
+
+
+class TestResilienceConfig:
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(InvalidParameterError):
+            ResilienceConfig(timeout=0.0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(InvalidParameterError):
+            ResilienceConfig(max_retries=-1)
+
+    def test_rejects_negative_rebuilds(self):
+        with pytest.raises(InvalidParameterError):
+            ResilienceConfig(max_pool_rebuilds=-1)
+
+
+class TestResilienceStats:
+    def test_merge_and_degraded(self):
+        total = ResilienceStats()
+        batch = ResilienceStats(n_retries=2, n_degraded_tasks=1)
+        batch.note("degraded once")
+        total.merge(batch)
+        assert total.n_retries == 2
+        assert total.degraded
+        assert total.events == ["degraded once"]
+        assert total.as_dict()["degraded"] is True
+
+    def test_healthy_dict_is_all_zero(self):
+        d = ResilienceStats().as_dict()
+        assert d["degraded"] is False
+        assert all(v == 0 for k, v in d.items() if k != "degraded")
+
+
+class ScriptedPool:
+    """In-process ProcessPoolExecutor double with scripted per-submit outcomes.
+
+    ``script`` maps a task's first argument to a list of outcomes consumed
+    one per submission: ``"ok"`` runs the callable inline, ``"error"``
+    resolves the future with a ``ValueError``, ``"broken"`` resolves it with
+    ``BrokenProcessPool`` (a worker died running it), ``"hang"`` returns a
+    running future that never completes (and cannot be cancelled).
+    """
+
+    def __init__(self, script):
+        self.script = script
+        self.shut_down = False
+
+    def submit(self, fn, *args):
+        future = Future()
+        outcomes = self.script.get(args[0] if args else None, [])
+        outcome = outcomes.pop(0) if outcomes else "ok"
+        if outcome == "ok":
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # pragma: no cover - defensive
+                future.set_exception(exc)
+        elif outcome == "error":
+            future.set_exception(ValueError(f"scripted task error for {args[0]!r}"))
+        elif outcome == "broken":
+            future.set_exception(BrokenProcessPool("scripted worker crash"))
+        elif outcome == "hang":
+            future.set_running_or_notify_cancel()
+        else:  # pragma: no cover - script typo guard
+            raise AssertionError(f"unknown outcome {outcome!r}")
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shut_down = True
+
+
+def _make_pool(script, config, sleeps=None):
+    """A SupervisedPool over ScriptedPool factories, with recorded sleeps."""
+    built = []
+
+    def factory():
+        pool = ScriptedPool(script)
+        built.append(pool)
+        return pool
+
+    recorded = sleeps if sleeps is not None else []
+    supervisor = SupervisedPool(
+        n_workers=2, config=config, sleep=recorded.append, pool_factory=factory
+    )
+    return supervisor, built, recorded
+
+
+class TestSupervisedPool:
+    def test_healthy_batch(self):
+        supervisor, built, sleeps = _make_pool({}, ResilienceConfig())
+        tasks = [SupervisedTask(key=i, fn=lambda x: x * 10, args=(i,)) for i in range(4)]
+        with supervisor:
+            results, stats = supervisor.run(tasks)
+        assert results == {0: 0, 1: 10, 2: 20, 3: 30}
+        assert list(results) == [0, 1, 2, 3]
+        assert stats.as_dict() == ResilienceStats().as_dict()
+        assert sleeps == []
+        assert len(built) == 1
+
+    def test_task_error_is_retried(self):
+        config = ResilienceConfig(max_retries=2)
+        script = {1: ["error", "ok"]}
+        supervisor, built, sleeps = _make_pool(script, config)
+        tasks = [SupervisedTask(key=i, fn=lambda x: x + 100, args=(i,)) for i in range(3)]
+        results, stats = supervisor.run(tasks)
+        assert results == {0: 100, 1: 101, 2: 102}
+        assert stats.n_task_errors == 1
+        assert stats.n_retries == 1
+        assert stats.n_degraded_tasks == 0
+        # One backoff sleep, with the deterministic jittered delay of retry 0.
+        assert sleeps == [backoff_delay(config, 1, 0)]
+        # A task error does not poison the pool: no rebuild happened.
+        assert stats.n_pool_rebuilds == 0
+        assert len(built) == 1
+
+    def test_worker_crash_rebuilds_pool(self):
+        config = ResilienceConfig(max_retries=2, max_pool_rebuilds=1)
+        script = {2: ["broken"]}
+        supervisor, built, _ = _make_pool(script, config)
+        tasks = [SupervisedTask(key=i, fn=lambda x: -x, args=(i,)) for i in range(3)]
+        results, stats = supervisor.run(tasks)
+        assert results == {0: 0, 1: -1, 2: -2}
+        assert stats.n_worker_crashes == 1
+        assert stats.n_pool_rebuilds == 1
+        assert stats.n_retries >= 1
+        assert stats.n_degraded_tasks == 0
+        assert len(built) == 2
+        assert built[0].shut_down
+
+    def test_hung_task_times_out_and_recovers(self):
+        config = ResilienceConfig(timeout=0.05, max_retries=2, max_pool_rebuilds=1)
+        script = {0: ["hang", "ok"]}
+        supervisor, built, _ = _make_pool(script, config)
+        tasks = [SupervisedTask(key=i, fn=lambda x: x, args=(i,)) for i in range(2)]
+        results, stats = supervisor.run(tasks)
+        assert results == {0: 0, 1: 1}
+        assert stats.n_timeouts == 1
+        assert stats.n_pool_rebuilds == 1
+        assert len(built) == 2
+
+    def test_exhausted_rebuilds_degrade_serially(self):
+        config = ResilienceConfig(max_retries=5, max_pool_rebuilds=1)
+        script = {i: ["broken"] * 10 for i in range(3)}
+        supervisor, built, _ = _make_pool(script, config)
+        tasks = [
+            SupervisedTask(key=i, fn=lambda x: x, args=(i,), fallback=lambda i=i: i + 1000)
+            for i in range(3)
+        ]
+        results, stats = supervisor.run(tasks)
+        # Every result came from the in-process fallback, none from a pool.
+        assert results == {0: 1000, 1: 1001, 2: 1002}
+        assert stats.n_degraded_tasks == 3
+        assert stats.degraded
+        assert stats.n_pool_rebuilds == 1
+        assert stats.n_worker_crashes == 2  # original pool + the one rebuild
+        assert len(built) == 2
+        assert supervisor.lifetime.n_degraded_tasks == 3
+
+    def test_degradation_defaults_to_calling_fn_inline(self):
+        config = ResilienceConfig(max_retries=0, max_pool_rebuilds=0)
+        script = {7: ["error"]}
+        supervisor, _, _ = _make_pool(script, config)
+        results, stats = supervisor.run([SupervisedTask(key=0, fn=lambda x: x * 3, args=(7,))])
+        assert results == {0: 21}
+        assert stats.n_degraded_tasks == 1
+
+    def test_no_fallback_raises_shard_execution_error(self):
+        config = ResilienceConfig(max_retries=0, max_pool_rebuilds=0, fallback=False)
+        script = {0: ["error"]}
+        supervisor, _, _ = _make_pool(script, config)
+        with pytest.raises(ShardExecutionError, match="unrecoverable"):
+            supervisor.run([SupervisedTask(key=0, fn=lambda x: x, args=(0,))])
+
+    def test_health_report(self):
+        supervisor, _, _ = _make_pool({}, ResilienceConfig())
+        supervisor.run([SupervisedTask(key=0, fn=lambda: 1)])
+        health = supervisor.health()
+        assert health["alive"]
+        assert health["n_batches"] == 1
+        assert health["degraded"] is False
+        supervisor.close()
+        assert not supervisor.alive
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(InvalidParameterError):
+            SupervisedPool(0)
+
+
+class TestWorkerInitializer:
+    def test_installs_plan_from_env(self, tmp_path, monkeypatch):
+        plan = faults.FaultPlan(
+            specs=[faults.FaultSpec(point="task", key=1, kind="raise")],
+            state_dir=str(tmp_path),
+        )
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, plan.to_json())
+        try:
+            worker_initializer()
+            active = faults.active_fault_plan()
+            assert active is not None
+            assert active.state_dir == str(tmp_path)
+            assert active.specs[0].key == 1
+        finally:
+            faults.install_fault_plan(None)
+
+    def test_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULT_PLAN_ENV, raising=False)
+        worker_initializer()
+        assert faults.active_fault_plan() is None
+
+
+def _double_at_fault_point(key: int) -> int:
+    """Pool-side toy task: hits the ``task`` instrumentation point, doubles."""
+    faults.fault_point("task", key)
+    return key * 2
+
+
+class TestRealProcessPool:
+    def test_crash_once_recovers_with_real_workers(self, tmp_path):
+        plan = faults.FaultPlan(
+            specs=[faults.FaultSpec(point="task", key=1, kind="crash", times=1)],
+            state_dir=str(tmp_path),
+        )
+        config = ResilienceConfig(max_retries=2, max_pool_rebuilds=1)
+        with plan.installed():
+            with SupervisedPool(2, config) as supervisor:
+                results, stats = supervisor.run(
+                    [SupervisedTask(key=i, fn=_double_at_fault_point, args=(i,)) for i in range(3)]
+                )
+        assert results == {0: 0, 1: 2, 2: 4}
+        assert stats.n_worker_crashes == 1
+        assert stats.n_pool_rebuilds == 1
+        assert stats.n_degraded_tasks == 0
+        assert plan.fired(0) == 1
+        assert os.environ.get(faults.FAULT_PLAN_ENV) is None
