@@ -14,7 +14,10 @@ at the first one that produces a result:
    ``max_retries`` times, with exponential backoff and *deterministic*
    jitter (:func:`backoff_delay`): delays depend only on
    ``(seed, task key, attempt)``, never on a live RNG, so recovery timing is
-   reproducible in tests.
+   reproducible in tests.  Only failures a task itself caused charge its
+   retry budget; a future that failed because *another* task crashed the
+   shared pool is resubmitted for free (collateral resubmission is bounded
+   by the rebuild budget, since every crash retires a pool).
 2. **Pool rebuild** — a worker crash (``BrokenProcessPool``) or a hung task
    (per-batch timeout with the future still running) poisons the whole
    pool; the supervisor abandons it (terminating its workers) and builds a
@@ -37,6 +40,7 @@ environment, if any.
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor, wait as wait_futures
@@ -266,6 +270,7 @@ class SupervisedPool:
             )
         )
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
         self.lifetime = ResilienceStats()
         self.n_batches = 0
 
@@ -289,15 +294,16 @@ class SupervisedPool:
         if pool is None:
             return
         pool.shutdown(wait=False, cancel_futures=True)
-        for process in list(getattr(pool, "_processes", None) or {}.values()):
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
             try:
                 process.terminate()
-            except (OSError, AttributeError):  # already dead, or not a Process
+            except (OSError, ValueError):  # already dead / already closed
                 pass
 
     def close(self) -> None:
         """Shut the pool down (idempotent)."""
-        pool, self._pool = self._pool, None
+        with self._lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
 
@@ -324,20 +330,34 @@ class SupervisedPool:
         ``config.fallback=False`` — a
         :class:`~repro.exceptions.ShardExecutionError` describes the first
         unrecoverable one.
+
+        Batches are serialized: concurrent callers queue on an internal lock
+        (the pool, lifetime counters and rebuild budget are shared state, so
+        interleaving two batches could abandon a pool out from under the
+        other's in-flight submits).
         """
         stats = ResilienceStats()
-        self.n_batches += 1
-        try:
-            return self._run(list(tasks), stats), stats
-        finally:
-            self.lifetime.merge(stats)
+        with self._lock:
+            self.n_batches += 1
+            try:
+                return self._run(list(tasks), stats), stats
+            finally:
+                self.lifetime.merge(stats)
 
     def _run(self, tasks: List[SupervisedTask], stats: ResilienceStats) -> Dict[Any, Any]:
         config = self.config
         results: Dict[Any, Any] = {}
         pending: Dict[Any, SupervisedTask] = {t.key: t for t in tasks}
         order = [t.key for t in tasks]
+        # `attempts` charges the per-task retry budget: only failures the task
+        # itself caused (raising in the worker, exceeding the deadline) count.
+        # A future failed by pool breakage (another task crashed the worker
+        # pool) is collateral damage — the task is re-submitted without
+        # spending budget; runaway resubmission is bounded by the rebuild
+        # budget, since every crash retires a pool.  `submitted` counts actual
+        # pool submissions, driving n_retries/backoff and degrade messages.
         attempts = {t.key: 0 for t in tasks}
+        submitted = {t.key: 0 for t in tasks}
         last_error: Dict[Any, BaseException] = {}
         rebuilds_used = 0
         pool_retired = False
@@ -362,14 +382,14 @@ class SupervisedPool:
         while pending:
             runnable = [k for k in order if k in pending and attempts[k] <= config.max_retries]
             for key in [k for k in order if k in pending and k not in runnable]:
-                results[key] = self._degrade(pending.pop(key), stats, last_error.get(key), attempts[key])
+                results[key] = self._degrade(pending.pop(key), stats, last_error.get(key), submitted[key])
             if not runnable:
                 break
 
-            retrying = [k for k in runnable if attempts[k] > 0]
+            retrying = [k for k in runnable if submitted[k] > 0]
             if retrying:
                 stats.n_retries += len(retrying)
-                delay = max(backoff_delay(config, k, attempts[k] - 1) for k in retrying)
+                delay = max(backoff_delay(config, k, submitted[k] - 1) for k in retrying)
                 stats.note(f"retrying {len(retrying)} task(s) after {delay * 1000:.0f} ms backoff")
                 self._sleep(delay)
 
@@ -378,7 +398,7 @@ class SupervisedPool:
                 stats.note("no pool available; degrading remaining tasks")
                 for key in runnable:
                     results[key] = self._degrade(
-                        pending.pop(key), stats, last_error.get(key), attempts[key]
+                        pending.pop(key), stats, last_error.get(key), submitted[key]
                     )
                 continue
 
@@ -388,33 +408,45 @@ class SupervisedPool:
                 task = pending[key]
                 try:
                     futures[pool.submit(task.fn, *task.args)] = key
+                    submitted[key] += 1
                 except (BrokenProcessPool, RuntimeError) as exc:
                     submit_error = exc
                     break
 
             pool_broken = saw_crash = submit_error is not None
-            done, not_done = (
-                wait_futures(futures, timeout=config.timeout) if futures else (set(), set())
-            )
-            for future in done:
-                key = futures[future]
+
+            def harvest(key: Any, future) -> None:
+                nonlocal pool_broken, saw_crash
                 try:
                     results[key] = future.result()
                     pending.pop(key)
                 except BrokenProcessPool as exc:
+                    # Collateral: some task crashed the pool and this future
+                    # failed with it.  No budget charge (see `attempts` note).
                     pool_broken = saw_crash = True
-                    attempts[key] += 1
                     last_error[key] = exc
                 except Exception as exc:  # the task itself raised in the worker
                     stats.n_task_errors += 1
                     attempts[key] += 1
                     last_error[key] = exc
                     stats.note(f"task {key!r} raised {type(exc).__name__}: {exc}")
+
+            done, not_done = (
+                wait_futures(futures, timeout=config.timeout) if futures else (set(), set())
+            )
+            for future in done:
+                harvest(futures[future], future)
             for future in not_done:
                 key = futures[future]
                 if future.cancel():
                     # Never started (queued behind a hung worker): costs no
                     # attempt, simply goes back into the next round.
+                    submitted[key] -= 1
+                    continue
+                if future.done():
+                    # Finished in the race window between wait() and cancel():
+                    # harvest the result instead of calling the task hung.
+                    harvest(key, future)
                     continue
                 stats.n_timeouts += 1
                 attempts[key] += 1

@@ -11,6 +11,7 @@ lives in ``tests/test_fault_injection.py``.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import Future
 from concurrent.futures.process import BrokenProcessPool
 
@@ -236,6 +237,51 @@ class TestSupervisedPool:
         supervisor, _, _ = _make_pool(script, config)
         with pytest.raises(ShardExecutionError, match="unrecoverable"):
             supervisor.run([SupervisedTask(key=0, fn=lambda x: x, args=(0,))])
+
+    def test_abandon_pool_terminates_worker_processes(self):
+        # Regression: `_processes` holds pid -> Process; abandoning the pool
+        # must call terminate() on the *values* (a precedence bug once made
+        # it iterate the pid keys, silently terminating nothing).
+        class FakeProcess:
+            def __init__(self):
+                self.terminated = False
+
+            def terminate(self):
+                self.terminated = True
+
+        class FakePool(ScriptedPool):
+            def __init__(self):
+                super().__init__({})
+                self._processes = {100: FakeProcess(), 101: FakeProcess()}
+
+        supervisor = SupervisedPool(2, ResilienceConfig(), pool_factory=FakePool)
+        supervisor.run([SupervisedTask(key=0, fn=lambda: 1)])
+        pool = supervisor._pool
+        supervisor._abandon_pool()
+        assert pool.shut_down
+        assert all(p.terminated for p in pool._processes.values())
+
+    def test_concurrent_runs_are_serialized(self):
+        supervisor, _, _ = _make_pool({}, ResilienceConfig())
+        outputs = {}
+
+        def batch(name, base):
+            tasks = [SupervisedTask(key=i, fn=lambda x: x, args=(base + i,)) for i in range(8)]
+            outputs[name], _ = supervisor.run(tasks)
+
+        threads = [
+            threading.Thread(target=batch, args=(name, base))
+            for name, base in [("a", 0), ("b", 100), ("c", 200)]
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outputs["a"] == {i: i for i in range(8)}
+        assert outputs["b"] == {i: 100 + i for i in range(8)}
+        assert outputs["c"] == {i: 200 + i for i in range(8)}
+        assert supervisor.n_batches == 3
+        assert not supervisor.lifetime.degraded
 
     def test_health_report(self):
         supervisor, _, _ = _make_pool({}, ResilienceConfig())
