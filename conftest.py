@@ -25,3 +25,8 @@ def pytest_configure(config):
         "markers",
         "slow: long-running parity/experiment tests, run in a separate CI job",
     )
+    config.addinivalue_line(
+        "markers",
+        "mutation: mutation-differential fuzz harness, run in the CI "
+        "mutation-fuzz lane (fast/slow lanes exclude it)",
+    )

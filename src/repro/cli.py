@@ -17,6 +17,11 @@ Solve a single TopRR instance on synthetic data::
 Serve a batch of queries against one dataset through the caching engine::
 
     toprr batch --n 5000 --d 4 --queries 50 --distinct 10
+
+Stream inserts/deletes through a warm engine with incremental cache
+maintenance (compare against --flush to see what the maintenance saves)::
+
+    toprr mutate --n 5000 --d 3 --rounds 5 --churn 0.01
 """
 
 from __future__ import annotations
@@ -25,6 +30,8 @@ import argparse
 import sys
 import time
 from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.core.placement import cheapest_new_option
 from repro.core.toprr import solve_toprr
@@ -160,8 +167,71 @@ def _build_parser() -> argparse.ArgumentParser:
         "in-process execution; only with --shards",
     )
     batch.add_argument("--seed", type=int, default=7, help="random seed")
+    batch.add_argument(
+        "--mutate-every",
+        type=int,
+        default=None,
+        help="interleave a random insert/delete mutation after every N queries "
+        "(incremental cache maintenance keeps provably valid entries; "
+        "default: no mutations)",
+    )
+    batch.add_argument(
+        "--churn",
+        type=float,
+        default=0.01,
+        help="fraction of the catalogue touched per interleaved mutation "
+        "(default: 0.01); only with --mutate-every",
+    )
+
+    mutate = sub.add_parser(
+        "mutate",
+        help="stream inserts/deletes through a warm engine and report what the "
+        "incremental cache maintenance keeps alive",
+    )
+    mutate.add_argument("--n", type=int, default=5_000, help="number of options")
+    mutate.add_argument("--d", type=int, default=3, help="number of attributes")
+    mutate.add_argument("--k", type=int, default=8, help="largest rank requirement k")
+    mutate.add_argument("--sigma", type=float, default=0.05, help="preference-region side length")
+    mutate.add_argument("--distribution", default="IND", help="IND | COR | ANTI")
+    mutate.add_argument("--method", default="tas*", help="tas* | tas | pac")
+    mutate.add_argument("--distinct", type=int, default=6, help="distinct (k, region) pairs")
+    mutate.add_argument("--rounds", type=int, default=5, help="mutation rounds")
+    mutate.add_argument(
+        "--churn",
+        type=float,
+        default=0.01,
+        help="fraction of the catalogue inserted and deleted per round (default: 0.01)",
+    )
+    mutate.add_argument(
+        "--flush",
+        action="store_true",
+        help="baseline arm: clear every cache on each mutation instead of the "
+        "incremental survival test",
+    )
+    mutate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve through the sharded engine (serial executor); mutations "
+        "re-plan the shards automatically",
+    )
+    mutate.add_argument("--seed", type=int, default=7, help="random seed")
 
     return parser
+
+
+def _churn_step(rng, dataset, fraction):
+    """One churn round: insert ~``fraction * n`` rows, delete as many old ones.
+
+    Returns the two ``(dataset, delta)`` steps in application order — each
+    delta is applied to an engine together with the dataset it produced.
+    Catalogue size is conserved, ids churn.
+    """
+    count = max(1, int(round(fraction * dataset.n_options)))
+    inserted, delta_in = dataset.insert_options(rng.random((count, dataset.n_attributes)))
+    victims = rng.choice(dataset.option_ids, size=count, replace=False).tolist()
+    mutated, delta_out = inserted.delete_options(option_ids=victims)
+    return [(inserted, delta_in), (mutated, delta_out)]
 
 
 def _command_list() -> int:
@@ -255,9 +325,24 @@ def _command_batch(args: argparse.Namespace) -> int:
     else:
         engine = TopRREngine(dataset, method=args.method, rng=args.seed)
         label = f"executor={args.executor}"
+    mutate_every = args.mutate_every
+    if mutate_every is not None and mutate_every <= 0:
+        print("error: --mutate-every must be positive", file=sys.stderr)
+        return 2
     start = time.perf_counter()
     try:
-        if args.shards:
+        if mutate_every:
+            # Interleave churn mutations with the query stream: the engine
+            # keeps serving and only provably affected caches are rebuilt.
+            rng = np.random.default_rng(args.seed + 99)
+            current, results, n_deltas = dataset, [], 0
+            for index, (k, region) in enumerate(queries):
+                if index and index % mutate_every == 0:
+                    for current, delta in _churn_step(rng, current, args.churn):
+                        engine.apply_delta(current, delta)
+                        n_deltas += 1
+                results.append(engine.query(k, region))
+        elif args.shards:
             results = engine.query_batch(queries)
         else:
             results = engine.query_batch(queries, executor=args.executor)
@@ -280,6 +365,98 @@ def _command_batch(args: argparse.Namespace) -> int:
     )
     print(f"result cache: {info['results']}")
     print(f"r-skyband cache: {info['skyband']}")
+    if mutate_every:
+        mutations = info["mutations"]
+        print(
+            f"mutations: {mutations['n_deltas']} deltas, survivor rate "
+            f"{mutations['survivor_rate']:.2f} "
+            f"({mutations['n_entries_survived']} skyband + "
+            f"{mutations['n_results_survived']} results kept, "
+            f"{mutations['n_entries_evicted'] + mutations['n_results_evicted']} evicted, "
+            f"{mutations['n_memos_salvaged']} memos salvaged)"
+        )
+    return 0
+
+
+def _command_mutate(args: argparse.Namespace) -> int:
+    if args.rounds <= 0 or args.distinct <= 0:
+        print("error: --rounds and --distinct must be positive", file=sys.stderr)
+        return 2
+    if not (0.0 < args.churn < 1.0):
+        print("error: --churn must be a fraction in (0, 1)", file=sys.stderr)
+        return 2
+    dataset = generate_synthetic(args.distribution, args.n, args.d, rng=args.seed)
+    pairs = [
+        (
+            1 + (args.seed + i) % max(args.k, 1),
+            random_hypercube_region(args.d, args.sigma, rng=args.seed + 1 + i),
+        )
+        for i in range(args.distinct)
+    ]
+    if args.shards:
+        engine = ShardedEngine(
+            dataset, n_shards=args.shards, executor="serial", method=args.method, rng=args.seed
+        )
+    else:
+        engine = TopRREngine(dataset, method=args.method, rng=args.seed)
+    try:
+        warm = time.perf_counter()
+        for k, region in pairs:
+            engine.query(k, region)
+        warm_seconds = time.perf_counter() - warm
+        print(
+            f"warmed {args.distinct} (k, region) pairs on n={args.n} d={args.d} "
+            f"in {warm_seconds:.2f}s"
+        )
+
+        rng = np.random.default_rng(args.seed + 99)
+        current = dataset
+        arm = "flush-all" if args.flush else "incremental"
+        total = time.perf_counter()
+        for round_index in range(args.rounds):
+            steps = _churn_step(rng, current, args.churn)
+            for current, delta in steps:
+                engine.apply_delta(current, delta)
+            if args.flush:
+                # Baseline arm: discard everything the maintenance kept, as a
+                # pre-mutation engine had to (apply_delta still rebinds the
+                # dataset and re-plans shards correctly).
+                engine.clear_caches()
+            round_timer = time.perf_counter()
+            for k, region in pairs:
+                engine.query(k, region)
+            requery_seconds = time.perf_counter() - round_timer
+            print(
+                f"round {round_index + 1}/{args.rounds} ({arm}): "
+                f"{steps[0][1].n_inserted + steps[1][1].n_deleted} options churned, "
+                f"requery {requery_seconds * 1000:.1f} ms"
+            )
+        total_seconds = time.perf_counter() - total
+
+        info = engine.cache_info()
+        if args.shards:
+            info = info["merged"]
+        print(f"\n{args.rounds} rounds in {total_seconds:.2f}s ({arm} maintenance)")
+        if not args.flush:
+            mutations = info["mutations"]
+            print(
+                f"maintenance: {mutations['n_deltas']} deltas, survivor rate "
+                f"{mutations['survivor_rate']:.2f}, "
+                f"{mutations['n_dominance_tests']} dominance tests, "
+                f"{mutations['n_memos_salvaged']} memos salvaged"
+            )
+        # Parity tripwire: the maintained engine answers exactly like a fresh
+        # engine built on the final dataset.
+        k, region = pairs[0]
+        maintained = engine.query(k, region)
+        oracle = TopRREngine(current, method=args.method, rng=args.seed).query(k, region)
+        if maintained.vertices_reduced.tobytes() != oracle.vertices_reduced.tobytes():
+            print("error: maintained engine diverged from a fresh rebuild", file=sys.stderr)
+            return 1
+        print("parity: maintained results are bit-identical to a fresh rebuild")
+    finally:
+        if args.shards:
+            engine.close()
     return 0
 
 
@@ -295,6 +472,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_solve(args)
     if args.command == "batch":
         return _command_batch(args)
+    if args.command == "mutate":
+        return _command_mutate(args)
     parser.print_help()
     return 1
 

@@ -418,6 +418,65 @@ class VertexScoreMemo:
         return RegionProfiles(vertices, ordered, working)
 
     # ------------------------------------------------------------------ #
+    # mutation salvage
+    # ------------------------------------------------------------------ #
+    def remapped(
+        self,
+        coefficients: np.ndarray,
+        constants: np.ndarray,
+        column_map: np.ndarray,
+    ) -> "VertexScoreMemo":
+        """A memo rebound to a mutated dataset's affine form, keeping score rows.
+
+        ``column_map[j]`` names the column of *this* memo that holds the
+        scores of the mutated dataset's ``j``-th option, or ``-1`` for a
+        freshly inserted option (see
+        :func:`repro.core.mutation.position_column_map`).  Surviving columns
+        are copied out of the cached rows; inserted columns are scored in one
+        kernel call against the column slice of the new affine form — both
+        operations are bit-identical to scoring the full new row from scratch
+        (:func:`~repro.core.profiles.affine_scores` is element-wise per
+        column).  Ordering rows are *not* carried over: they are keyed by
+        working-set uid, and every working set of the old dataset dies with
+        the mutation.
+        """
+        fresh = VertexScoreMemo(
+            coefficients,
+            constants,
+            max_orders=self.max_orders,
+        )
+        column_map = np.asarray(column_map, dtype=int)
+        surviving = column_map >= 0
+        old_columns = column_map[surviving]
+        new_columns = np.flatnonzero(~surviving)
+        with self._lock:
+            cached = list(self._rows.items())
+        if not cached:
+            return fresh
+        if new_columns.size:
+            # The keys are the exact float64 bytes of the reduced vertices,
+            # so the vertices themselves round-trip losslessly.
+            width = fresh.coefficients.shape[1]
+            vertices = np.array(
+                [np.frombuffer(key, dtype=float) for key, _row in cached]
+            ).reshape(len(cached), width)
+            inserted_scores = affine_scores(
+                vertices,
+                fresh.coefficients[new_columns],
+                fresh.constants[new_columns],
+            )
+        for index, (key, old_row) in enumerate(cached):
+            row = np.empty(fresh.n_options)
+            row[surviving] = old_row[old_columns]
+            if new_columns.size:
+                row[new_columns] = inserted_scores[index]
+            fresh._rows[key] = row
+        while len(fresh._rows) > fresh.max_rows:
+            fresh._rows.popitem(last=False)
+            fresh.row_evictions += 1
+        return fresh
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def info(self) -> dict:

@@ -97,6 +97,18 @@ class SolverStats:
         True when at least one shard of this query fell back to serial
         in-process execution — the result is still exact; the flag marks
         that the parallel path was unhealthy.
+    n_entries_survived:
+        Cached entries (r-skyband entries and result-LRU entries) the last
+        :meth:`~repro.engine.engine.TopRREngine.apply_delta` call on the
+        owning engine kept alive because the mutation provably could not
+        change them (``0`` when the engine never saw a mutation).
+    n_entries_evicted:
+        Cached entries the last ``apply_delta`` call dropped because a
+        deleted option sat in the entry's r-skyband or an inserted option
+        could enter it.
+    n_dominance_tests:
+        Inserted-option admission tests (one per inserted option per
+        examined cache entry) the last ``apply_delta`` call performed.
     merge_seconds:
         Wall-clock time of the cross-shard top-k reconciliation (merging
         per-shard candidates back into the exact global r-skyband); ``0``
@@ -132,6 +144,9 @@ class SolverStats:
     n_worker_crashes: int = 0
     n_pool_rebuilds: int = 0
     n_degraded_shards: int = 0
+    n_entries_survived: int = 0
+    n_entries_evicted: int = 0
+    n_dominance_tests: int = 0
     degraded: bool = False
     merge_seconds: float = 0.0
     seconds: float = 0.0
@@ -174,6 +189,9 @@ class SolverStats:
             "n_worker_crashes": self.n_worker_crashes,
             "n_pool_rebuilds": self.n_pool_rebuilds,
             "n_degraded_shards": self.n_degraded_shards,
+            "n_entries_survived": self.n_entries_survived,
+            "n_entries_evicted": self.n_entries_evicted,
+            "n_dominance_tests": self.n_dominance_tests,
             "degraded": self.degraded,
             "merge_seconds": self.merge_seconds,
             "vertex_cache_hit_rate": self.vertex_cache_hit_rate,

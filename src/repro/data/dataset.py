@@ -35,6 +35,15 @@ class Dataset:
         results can always be reported in terms of the original options.
     name:
         Human-readable dataset name used in experiment reports.
+    version:
+        Version tag of this dataset in a mutation chain (see
+        :meth:`insert_options` / :meth:`delete_options`).  Freshly
+        constructed datasets are version ``0``; every mutation produces a
+        new dataset at ``version + 1`` together with a
+        :class:`~repro.core.mutation.MutationDelta` describing the step.
+        Engines and shard plans are version-tagged against this value so
+        stale derived structures (id lookup tables, shard position maps)
+        are detected instead of silently serving old state.
     """
 
     def __init__(
@@ -43,6 +52,7 @@ class Dataset:
         attribute_names: Optional[Sequence[str]] = None,
         option_ids: Optional[Sequence] = None,
         name: str = "dataset",
+        version: int = 0,
     ):
         values = np.asarray(values, dtype=float)
         if values.ndim != 2:
@@ -69,7 +79,13 @@ class Dataset:
         if len(option_ids) != values.shape[0]:
             raise DimensionMismatchError("one option id per row is required")
         self.option_ids: List = option_ids
+        self.version = int(version)
         self._id_to_index: Optional[dict] = None
+        # Version tag of the lazily built id->index table.  The table is
+        # only valid for the option_ids list it was built from; mutation
+        # constructors that seed a child's table (the insert fast path)
+        # stamp it with the child's version so a stale share is detectable.
+        self._id_to_index_version = self.version
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -105,14 +121,21 @@ class Dataset:
 
         O(1) after the first call: the id→index mapping is built lazily and
         reused (option ids are fixed at construction time).  With duplicate
-        ids the first occurrence wins, matching ``list.index``.
+        ids the first occurrence wins, matching ``list.index``.  The table
+        is version-tagged: a table inherited from a different dataset
+        version (the :meth:`insert_options` fast path seeds the child's
+        table from the parent's) is rebuilt instead of trusted, so mutation
+        can never leave a stale id→index mapping behind.
         """
+        if self._id_to_index is not None and self._id_to_index_version != self.version:
+            self._id_to_index = None  # stale inherited table: rebuild below
         if self._id_to_index is None:
             try:
                 mapping: dict = {}
                 for index, existing in enumerate(self.option_ids):
                     mapping.setdefault(existing, index)
                 self._id_to_index = mapping
+                self._id_to_index_version = self.version
             except TypeError:  # unhashable ids: keep the linear-scan behaviour
                 return self.option_ids.index(option_id)
         try:
@@ -179,6 +202,141 @@ class Dataset:
             option_ids=option_ids,
             name=name or f"{self.name}[{start}:{stop}]",
         )
+
+    # ------------------------------------------------------------------ #
+    # streaming mutations (versioned)
+    # ------------------------------------------------------------------ #
+    def _fresh_option_ids(self, count: int) -> List:
+        """``count`` identifiers guaranteed not to collide with existing ids.
+
+        Integer id spaces (the default) continue from ``max + 1``; any other
+        id scheme must pass explicit ids to :meth:`insert_options`.
+        """
+        if not all(isinstance(option_id, int) for option_id in self.option_ids):
+            raise InvalidParameterError(
+                "cannot auto-generate option ids for a dataset with non-integer "
+                "ids; pass option_ids explicitly to insert_options"
+            )
+        start = max(self.option_ids) + 1 if self.option_ids else 0
+        return list(range(start, start + count))
+
+    def insert_options(
+        self,
+        values,
+        option_ids: Optional[Sequence] = None,
+        name: Optional[str] = None,
+    ):
+        """Append options, returning ``(mutated dataset, MutationDelta)``.
+
+        The mutated dataset is a new object at ``version + 1``; this dataset
+        is left untouched (mutation is functional, so engines bound to the
+        parent stay consistent until their ``apply_delta`` hook runs).  The
+        new options occupy the *last* positions, which keeps every existing
+        option's positional index — and therefore every cached positional
+        artefact — stable.  Existing options keep their ids; fresh ids are
+        generated for the inserted options unless given explicitly.
+        """
+        from repro.core.mutation import MutationDelta
+
+        inserted = np.atleast_2d(np.asarray(values, dtype=float))
+        if inserted.ndim != 2 or inserted.shape[1] != self.n_attributes:
+            raise DimensionMismatchError(
+                f"inserted options must be (m, {self.n_attributes}), got {inserted.shape}"
+            )
+        if inserted.shape[0] == 0:
+            raise InvalidParameterError("insert_options requires at least one option")
+        if option_ids is None:
+            option_ids = self._fresh_option_ids(inserted.shape[0])
+        option_ids = list(option_ids)
+        if len(option_ids) != inserted.shape[0]:
+            raise DimensionMismatchError("one option id per inserted row is required")
+        existing = set(self.option_ids)
+        clashing = [option_id for option_id in option_ids if option_id in existing]
+        if clashing:
+            raise InvalidParameterError(
+                f"inserted option ids already exist in the dataset: {clashing[:5]}"
+            )
+        mutated = Dataset(
+            np.vstack([self._values, inserted]),
+            attribute_names=self.attribute_names,
+            option_ids=self.option_ids + option_ids,
+            name=name or f"{self.name}[+{inserted.shape[0]}]",
+            version=self.version + 1,
+        )
+        if self._id_to_index is not None and self._id_to_index_version == self.version:
+            # Insert fast path: extend a copy of the parent's table instead
+            # of rescanning all n ids, and stamp it with the child's version
+            # (an unstamped share is exactly the staleness index_of guards).
+            mapping = dict(self._id_to_index)
+            for offset, option_id in enumerate(option_ids):
+                mapping.setdefault(option_id, self.n_options + offset)
+            mutated._id_to_index = mapping
+            mutated._id_to_index_version = mutated.version
+        delta = MutationDelta(
+            parent_version=self.version,
+            version=mutated.version,
+            n_before=self.n_options,
+            n_after=mutated.n_options,
+            inserted_values=inserted,
+            inserted_ids=tuple(option_ids),
+            deleted_ids=(),
+            deleted_positions=np.empty(0, dtype=int),
+        )
+        return mutated, delta
+
+    def delete_options(
+        self,
+        option_ids: Optional[Sequence] = None,
+        positions: Optional[Iterable[int]] = None,
+        name: Optional[str] = None,
+    ):
+        """Remove options, returning ``(mutated dataset, MutationDelta)``.
+
+        Exactly one of ``option_ids`` / ``positions`` selects the victims.
+        Surviving options keep their ids and their relative order; the
+        mutated dataset is a new object at ``version + 1`` and this dataset
+        is left untouched.  Deleting every option is rejected (datasets are
+        non-empty by construction).
+        """
+        from repro.core.mutation import MutationDelta
+
+        if (option_ids is None) == (positions is None):
+            raise InvalidParameterError(
+                "pass exactly one of option_ids / positions to delete_options"
+            )
+        if option_ids is not None:
+            drop_positions = sorted({self.index_of(option_id) for option_id in option_ids})
+        else:
+            drop_positions = sorted({int(i) for i in positions})
+            for position in drop_positions:
+                if not (0 <= position < self.n_options):
+                    raise InvalidParameterError(
+                        f"delete position {position} out of range for {self.n_options} options"
+                    )
+        if not drop_positions:
+            raise InvalidParameterError("delete_options requires at least one option")
+        if len(drop_positions) == self.n_options:
+            raise InvalidParameterError("cannot delete every option of a dataset")
+        drop = np.asarray(drop_positions, dtype=int)
+        keep = np.setdiff1d(np.arange(self.n_options), drop, assume_unique=True)
+        mutated = Dataset(
+            self._values[keep],
+            attribute_names=self.attribute_names,
+            option_ids=[self.option_ids[i] for i in keep],
+            name=name or f"{self.name}[-{drop.size}]",
+            version=self.version + 1,
+        )
+        delta = MutationDelta(
+            parent_version=self.version,
+            version=mutated.version,
+            n_before=self.n_options,
+            n_after=mutated.n_options,
+            inserted_values=np.empty((0, self.n_attributes)),
+            inserted_ids=(),
+            deleted_ids=tuple(self.option_ids[i] for i in drop),
+            deleted_positions=drop,
+        )
+        return mutated, delta
 
     def normalized(self, name: Optional[str] = None) -> "Dataset":
         """Min-max normalise every attribute to [0, 1] (constant columns map to 0.5)."""

@@ -149,6 +149,12 @@ def shard_dataset(dataset: Dataset, spec: ShardSpec) -> Dataset:
     per-shard result maps back to the parent dataset by id — the convention
     the sharded coordinator and the per-shard engines rely on.
     """
+    if spec.n_options != dataset.n_options:
+        raise InvalidParameterError(
+            f"shard spec was planned for {spec.n_options} options but the dataset "
+            f"has {dataset.n_options}; re-plan after mutating the dataset "
+            "(ShardedEngine.apply_delta does this automatically)"
+        )
     name = f"{dataset.name}[shard {spec.shard_id}/{spec.n_shards}:{spec.strategy}]"
     if spec.strategy == "contiguous":
         start, stop = spec.bounds()

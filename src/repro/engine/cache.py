@@ -78,6 +78,39 @@ class LRUCache:
                 self._data.popitem(last=False)
                 self._evictions += 1
 
+    def items(self) -> list:
+        """Snapshot of ``(key, value)`` pairs, oldest first (no recency change).
+
+        Used by the mutation-maintenance walk in
+        :meth:`~repro.engine.engine.TopRREngine.apply_delta`, which must
+        examine every entry without perturbing the LRU order or the hit/miss
+        counters.
+        """
+        with self._lock:
+            return list(self._data.items())
+
+    def pop(self, key: Hashable) -> Any:
+        """Remove and return an entry (``MISSING`` if absent); no counters."""
+        with self._lock:
+            return self._data.pop(key, MISSING)
+
+    def replace(self, key: Hashable, value: Any) -> bool:
+        """Swap the value of an *existing* entry in place.
+
+        Leaves the LRU order and all counters untouched — mutation
+        maintenance patches surviving entries without making them look
+        recently used.  Returns False (and stores nothing) if the key is
+        absent, e.g. evicted by a concurrent query between the
+        :meth:`items` snapshot and the patch.
+        """
+        with self._lock:
+            if key not in self._data:
+                return False
+            # Assigning to an existing key keeps its position in the
+            # OrderedDict, so recency is untouched by construction.
+            self._data[key] = value
+            return True
+
     def __len__(self) -> int:
         return len(self._data)
 

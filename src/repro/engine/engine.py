@@ -50,6 +50,12 @@ import numpy as np
 from repro.core.base_solver import BaseTestAndSplit
 from repro.core.kipr import WorkingSet
 from repro.core.impact import build_impact_region
+from repro.core.mutation import (
+    MutationDelta,
+    MutationReport,
+    entry_survival,
+    position_column_map,
+)
 from repro.core.pac import PACSolver
 from repro.core.scorecache import VertexScoreMemo
 from repro.core.stats import SolverStats
@@ -159,6 +165,13 @@ class TopRREngine:
         self._nofilter_workings: dict = {}
         self._counter_lock = threading.Lock()
         self.n_queries = 0
+        # Mutation-maintenance state: memos of entries evicted by a delta,
+        # kept around (bounded) so install_skyband can salvage their score
+        # rows when the entry is rebuilt; plus cumulative accounting.
+        self._mutation_salvage: dict = {}
+        self._mutation_totals = MutationReport()
+        self._last_mutation_report: Optional[MutationReport] = None
+        self.n_deltas = 0
 
     # ------------------------------------------------------------------ #
     # bound intermediates
@@ -213,7 +226,7 @@ class TopRREngine:
             return cached[0], cached[1], cached[2], True
 
         kept = r_skyband(self.dataset, k, region, tol=self.tol)
-        filtered, working, memo = self.install_skyband(k, region, kept)
+        filtered, working, memo, _vertices = self.install_skyband(k, region, kept)
         return filtered, working, memo, False
 
     def cached_result(self, k: int, region: PreferenceRegion, method) -> Optional[TopRRResult]:
@@ -229,7 +242,7 @@ class TopRREngine:
         return None if cached is MISSING else cached
 
     def cached_skyband(self, k: int, region: PreferenceRegion):
-        """The cached ``(filtered, working, memo)`` entry, or ``None`` — no compute.
+        """The cached ``(filtered, working, memo, vertices)`` entry, or ``None``.
 
         Sharding hook: the sharded coordinator peeks every shard engine's
         cache before deciding which shards actually need to run the filter.
@@ -246,7 +259,8 @@ class TopRREngine:
         ``kept`` are ascending positional indices into this engine's dataset
         — exactly what :func:`~repro.pruning.rskyband.r_skyband` returns.
         The entry (filtered dataset, root working set sliced from the bound
-        affine form, vertex-score memo) is built the same way
+        affine form, vertex-score memo, exact region vertices) is built the
+        same way
         :meth:`prefiltered` builds it, so a later :meth:`query` for the same
         ``(k, region)`` is indistinguishable from having run the filter here.
         This is the sharding hook: the coordinator of
@@ -257,9 +271,27 @@ class TopRREngine:
         kept = np.asarray(kept, dtype=int)
         filtered = self.dataset.subset(kept, name=f"{self.dataset.name}[r-skyband]")
         working = WorkingSet.from_affine_form(coefficients[kept], constants[kept], k)
-        memo = VertexScoreMemo.for_working(working)
-        entry = (filtered, working, memo)
-        self._skyband_cache.put((int(k), region_fingerprint(region)), entry)
+        key = (int(k), region_fingerprint(region))
+        salvaged = self._mutation_salvage.pop(key, None)
+        if salvaged is not None:
+            # A mutation evicted this (k, region) entry but parked its memo:
+            # rebind the memo to the fresh band by copying the columns of
+            # options that stayed band members and scoring only the new ones
+            # (bit-identical either way, see VertexScoreMemo.remapped).
+            old_ids, old_memo = salvaged
+            column_map = position_column_map(filtered.option_ids, old_ids)
+            memo = old_memo.remapped(working.coefficients, working.constants, column_map)
+            with self._counter_lock:
+                self._mutation_totals.n_memos_salvaged += 1
+                if self._last_mutation_report is not None:
+                    self._last_mutation_report.n_memos_salvaged += 1
+        else:
+            memo = VertexScoreMemo.for_working(working)
+        # The entry carries the exact (unrounded) region vertices: the
+        # mutation survival test must replicate the filter's score matrix
+        # byte-for-byte, and the fingerprint in the key is rounded.
+        entry = (filtered, working, memo, region.full_vertices())
+        self._skyband_cache.put(key, entry)
         return entry
 
     # ------------------------------------------------------------------ #
@@ -315,6 +347,12 @@ class TopRREngine:
         stats.seconds = timer.stop()
         stats.n_after_lemma5 = stats.n_after_lemma5 or filtered.n_options
         stats.extra["skyband_cache_hit"] = bool(skyband_hit)
+        with self._counter_lock:
+            last_report = self._last_mutation_report
+        if last_report is not None:
+            stats.n_entries_survived = last_report.n_entries_survived
+            stats.n_entries_evicted = last_report.n_entries_evicted
+            stats.n_dominance_tests = last_report.n_dominance_tests
 
         result = TopRRResult(
             dataset=self.dataset,
@@ -426,14 +464,142 @@ class TopRREngine:
         return computed
 
     # ------------------------------------------------------------------ #
+    # mutation maintenance
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, dataset: Dataset, delta: MutationDelta) -> MutationReport:
+        """Rebind the engine to a mutated dataset, keeping provably valid caches.
+
+        ``dataset`` and ``delta`` are what
+        :meth:`~repro.data.dataset.Dataset.insert_options` /
+        :meth:`~repro.data.dataset.Dataset.delete_options` returned for the
+        dataset this engine is currently bound to (the version chain is
+        enforced).  Instead of :meth:`clear_caches`, every cached r-skyband
+        entry and result is put through the eviction-soundness test
+        (:func:`~repro.core.mutation.entry_survival`): an entry survives —
+        and is served unchanged to later queries — only when no deleted
+        option was a band member and no inserted option can enter the band,
+        which makes the survivor byte-identical to a from-scratch rebuild
+        (the contract ``tests/test_mutation_differential.py`` fuzzes).
+        Evicted entries park their vertex-score memo for column-remap
+        salvage on rebuild.  Returns the survivor/eviction accounting.
+        """
+        delta.check_applies_to(self.dataset, dataset)
+        report = MutationReport()
+        old_dataset = self.dataset
+        self.dataset = dataset
+        self._affine = None  # recomputed lazily; row-wise, so survivors match
+
+        if delta.n_inserted and self._mutation_salvage:
+            # An insert may reuse the id of an option deleted by an *earlier*
+            # delta; parked memos still holding a column for that id would
+            # salvage stale scores, so they are dropped before any rebuild.
+            inserted = set(delta.inserted_ids)
+            stale = [
+                key
+                for key, (old_ids, _memo) in self._mutation_salvage.items()
+                if inserted.intersection(old_ids)
+            ]
+            for key in stale:
+                self._mutation_salvage.pop(key, None)
+
+        if not self.prefilter:
+            # Without the pre-filter there is no band to count dominators
+            # against, so no entry is provably unaffected: evict every
+            # result, rebuild the working sets, and salvage the full-dataset
+            # memo's score rows by column remap (sound unconditionally).
+            for key, _result in self._result_cache.items():
+                if self._result_cache.pop(key) is not MISSING:
+                    report.n_results_evicted += 1
+            with self._counter_lock:
+                old_memo, self._full_memo = self._full_memo, None
+                self._nofilter_workings.clear()
+            if old_memo is not None and len(old_memo):
+                coefficients, constants = self.affine_form()
+                column_map = position_column_map(dataset.option_ids, old_dataset.option_ids)
+                with self._counter_lock:
+                    self._full_memo = old_memo.remapped(coefficients, constants, column_map)
+                report.n_memos_salvaged += 1
+            return self._record_delta(report)
+
+        # One vertex-score product per distinct region: the skyband entry
+        # and the per-method results for the same (k, region) share it.
+        score_cache: dict = {}
+
+        def region_scores(fingerprint, full_vertices):
+            """Memoised ``values @ full_vertices.T`` for one region fingerprint."""
+            if fingerprint not in score_cache:
+                score_cache[fingerprint] = dataset.values @ full_vertices.T
+            return score_cache[fingerprint]
+
+        for key, entry in self._skyband_cache.items():
+            filtered, _working, memo, full_vertices = entry
+            survives, n_tests = entry_survival(
+                dataset,
+                delta,
+                key[0],
+                full_vertices,
+                filtered.option_ids,
+                tol=self.tol,
+                scores=region_scores(key[1], full_vertices) if delta.n_inserted else None,
+            )
+            report.n_dominance_tests += n_tests
+            if survives:
+                report.n_entries_survived += 1
+            else:
+                self._skyband_cache.pop(key)
+                report.n_entries_evicted += 1
+                self._mutation_salvage[key] = (tuple(filtered.option_ids), memo)
+        while len(self._mutation_salvage) > max(1, self._skyband_cache.maxsize):
+            self._mutation_salvage.pop(next(iter(self._mutation_salvage)))
+
+        for key, result in self._result_cache.items():
+            full_vertices = result.region.full_vertices()
+            survives, n_tests = entry_survival(
+                dataset,
+                delta,
+                key[0],
+                full_vertices,
+                result.filtered.option_ids,
+                tol=self.tol,
+                scores=region_scores(key[1], full_vertices) if delta.n_inserted else None,
+            )
+            report.n_dominance_tests += n_tests
+            if survives:
+                # Everything else the result holds (filtered subset, working
+                # set, vertices, impact region) is self-contained; only the
+                # full-dataset reference needs rebinding.
+                result.dataset = dataset
+                report.n_results_survived += 1
+            else:
+                self._result_cache.pop(key)
+                report.n_results_evicted += 1
+        return self._record_delta(report)
+
+    def _record_delta(self, report: MutationReport) -> MutationReport:
+        """Fold one delta's accounting into the engine-lifetime totals."""
+        with self._counter_lock:
+            self.n_deltas += 1
+            self._mutation_totals.merge(report)
+            self._last_mutation_report = report
+        return report
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def cache_info(self) -> dict:
-        """Hit/miss/eviction counters of both caches plus the query count."""
+        """Hit/miss/eviction counters of both caches plus the query count.
+
+        ``mutations`` holds the engine-lifetime totals across every
+        :meth:`apply_delta` call (``n_deltas``, survivor/eviction counts,
+        dominance tests, salvaged memos, and the overall survivor rate).
+        """
+        with self._counter_lock:
+            mutations = dict(self._mutation_totals.as_dict(), n_deltas=self.n_deltas)
         return {
             "n_queries": self.n_queries,
             "skyband": self._skyband_cache.info().as_dict(),
             "results": self._result_cache.info().as_dict(),
+            "mutations": mutations,
         }
 
     def clear_caches(self) -> None:
@@ -446,6 +612,7 @@ class TopRREngine:
         self._result_cache.clear()
         self._full_memo = None
         self._nofilter_workings.clear()
+        self._mutation_salvage.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -57,6 +57,7 @@ from repro.core.sharded import (
     reconcile_candidates,
     shard_skyband,
 )
+from repro.core.mutation import MutationDelta, MutationReport
 from repro.core.toprr import SolverLike, TopRRResult
 from repro.data.dataset import Dataset
 from repro.data.sharding import SharedMatrix, ShardSpec, plan_shards, shard_dataset
@@ -411,6 +412,32 @@ class ShardedEngine:
                 if not info["merged_cache_hit"]:
                     computed += 1
         return computed
+
+    # ------------------------------------------------------------------ #
+    # mutation maintenance
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, dataset: Dataset, delta: MutationDelta) -> MutationReport:
+        """Rebind the sharded engine to a mutated dataset.
+
+        The coordinator engine — which owns the merged r-skyband entries and
+        the result cache, i.e. everything that short-circuits the shard
+        fan-out — runs the incremental survival test
+        (:meth:`TopRREngine.apply_delta`).  The shard plan is then re-planned
+        for the new option count (positions shift on delete, contiguous
+        bounds grow on insert, shards may become empty or non-empty) and the
+        per-shard engines are dropped for lazy rebuild: their stale
+        parent-position mappings must never be consulted again, which
+        :func:`~repro.data.sharding.shard_dataset`'s spec guard enforces.
+        The worker pool is kept — workers are stateless between queries.
+        Returns the coordinator's survivor/eviction accounting.
+        """
+        report = self._coordinator.apply_delta(dataset, delta)
+        with self._lock:
+            self.dataset = dataset
+            self.plan = plan_shards(dataset.n_options, self.n_shards, self.strategy)
+            self._shard_engines = None
+            self._shard_positions = [None] * self.n_shards
+        return report
 
     # ------------------------------------------------------------------ #
     # introspection and lifecycle

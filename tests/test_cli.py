@@ -61,3 +61,46 @@ class TestCli:
         out = capsys.readouterr().out
         assert "substrate_engines" in out
         assert "branch-and-bound" in out
+
+
+class TestMutateCli:
+    SMALL = ["--n", "400", "--d", "3", "--k", "4", "--distinct", "3",
+             "--rounds", "2", "--churn", "0.02", "--seed", "3"]
+
+    def test_mutate_incremental(self, capsys):
+        assert main(["mutate", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "incremental maintenance" in out
+        assert "survivor rate" in out
+        assert "bit-identical to a fresh rebuild" in out
+
+    def test_mutate_flush_baseline(self, capsys):
+        assert main(["mutate", *self.SMALL, "--flush"]) == 0
+        out = capsys.readouterr().out
+        assert "flush-all maintenance" in out
+        assert "survivor rate" not in out  # baseline arm keeps nothing to report
+        assert "bit-identical to a fresh rebuild" in out
+
+    def test_mutate_sharded(self, capsys):
+        assert main(["mutate", *self.SMALL, "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to a fresh rebuild" in out
+
+    def test_mutate_rejects_bad_churn(self, capsys):
+        assert main(["mutate", "--churn", "1.5"]) == 2
+        assert "--churn" in capsys.readouterr().err
+
+    def test_batch_with_interleaved_mutations(self, capsys):
+        code = main(
+            ["batch", "--n", "400", "--d", "3", "--k", "4", "--queries", "12",
+             "--distinct", "3", "--mutate-every", "4", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mutations:" in out and "deltas" in out
+
+    def test_batch_rejects_nonpositive_mutate_every(self, capsys):
+        code = main(["batch", "--n", "400", "--d", "3", "--queries", "4",
+                     "--mutate-every", "0"])
+        assert code == 2
+        assert "--mutate-every" in capsys.readouterr().err

@@ -196,3 +196,87 @@ class TestCsvIO:
         header_only.write_text("a,b\n")
         with pytest.raises(InvalidParameterError):
             load_csv(header_only)
+
+
+class TestMutableDatasets:
+    """Versioned insert/delete and the staleness of derived lookup tables."""
+
+    @pytest.fixture()
+    def catalogue(self):
+        return generate_independent(20, 3, rng=77)
+
+    def test_insert_appends_and_versions(self, catalogue):
+        mutated, delta = catalogue.insert_options([[0.5, 0.5, 0.5], [0.1, 0.9, 0.2]])
+        assert catalogue.version == 0 and mutated.version == 1
+        assert mutated.n_options == 22
+        assert mutated.option_ids[:20] == catalogue.option_ids
+        assert delta.inserted_ids == tuple(mutated.option_ids[20:])
+        assert delta.n_inserted == 2 and delta.n_deleted == 0
+        # The parent is untouched (mutation is functional).
+        assert catalogue.n_options == 20
+
+    def test_delete_keeps_survivor_ids_and_order(self, catalogue):
+        victims = [catalogue.option_ids[i] for i in (0, 5, 19)]
+        mutated, delta = catalogue.delete_options(option_ids=victims)
+        assert mutated.version == 1 and mutated.n_options == 17
+        assert delta.deleted_ids == tuple(victims)
+        assert list(delta.deleted_positions) == [0, 5, 19]
+        survivors = [i for i in catalogue.option_ids if i not in victims]
+        assert mutated.option_ids == survivors
+
+    def test_index_of_table_not_inherited_stale(self, catalogue):
+        """The O(1) id->index table is version-tagged: a mutated dataset must
+        never serve positions computed for its parent."""
+        assert catalogue.index_of(catalogue.option_ids[7]) == 7  # builds table
+        mutated, _delta = catalogue.delete_options(positions=[0, 1, 2])
+        # Every survivor shifted by three; a stale table would be off by 3.
+        for position, option_id in enumerate(mutated.option_ids):
+            assert mutated.index_of(option_id) == position
+        # The parent's table still answers for the parent.
+        assert catalogue.index_of(catalogue.option_ids[7]) == 7
+
+    def test_insert_fast_path_seeds_child_table(self, catalogue):
+        catalogue.index_of(catalogue.option_ids[0])  # build the parent table
+        mutated, delta = catalogue.insert_options([[0.3, 0.3, 0.3]])
+        # Seeded table is stamped with the child version, so it is used as-is.
+        assert mutated._id_to_index_version == mutated.version
+        assert mutated.index_of(delta.inserted_ids[0]) == 20
+        assert mutated.index_of(catalogue.option_ids[13]) == 13
+
+    def test_auto_ids_continue_from_current_max(self, catalogue):
+        mutated, _delta = catalogue.insert_options([[0.2, 0.2, 0.2]])
+        mutated, delta = mutated.insert_options([[0.3, 0.3, 0.3]])
+        assert delta.inserted_ids[0] == max(catalogue.option_ids) + 2
+        # Deleting the max id frees it: the next auto id may reuse it (the
+        # engines' salvage guard handles reuse; see apply_delta).
+        shrunk, _delta = catalogue.delete_options(positions=[19])
+        regrown, delta = shrunk.insert_options([[0.2, 0.2, 0.2]])
+        assert delta.inserted_ids[0] == max(shrunk.option_ids) + 1
+
+    def test_non_integer_ids_require_explicit_ids(self):
+        named = Dataset(np.random.default_rng(0).random((3, 2)), option_ids=["a", "b", "c"])
+        with pytest.raises(InvalidParameterError):
+            named.insert_options([[0.5, 0.5]])
+        mutated, delta = named.insert_options([[0.5, 0.5]], option_ids=["d"])
+        assert mutated.option_ids == ["a", "b", "c", "d"]
+
+    def test_mutation_validation_errors(self, catalogue):
+        with pytest.raises(DimensionMismatchError):
+            catalogue.insert_options([[0.1, 0.2]])  # wrong attribute count
+        with pytest.raises(InvalidParameterError):
+            catalogue.insert_options([[0.1, 0.2, 0.3]], option_ids=[catalogue.option_ids[0]])
+        with pytest.raises(InvalidParameterError):
+            catalogue.delete_options(option_ids=catalogue.option_ids)  # delete all
+        with pytest.raises(InvalidParameterError):
+            catalogue.delete_options()  # no selector
+        with pytest.raises(InvalidParameterError):
+            catalogue.delete_options(option_ids=[1], positions=[1])  # both selectors
+        with pytest.raises(InvalidParameterError):
+            catalogue.delete_options(positions=[99])
+
+    def test_version_chain_across_mutations(self, catalogue):
+        current = catalogue
+        for expected_version in (1, 2, 3):
+            current, delta = current.insert_options([[0.4, 0.4, 0.4]])
+            assert current.version == expected_version
+            assert delta.parent_version == expected_version - 1

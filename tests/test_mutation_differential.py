@@ -1,0 +1,202 @@
+"""Mutation-differential oracle harness: mutate, query, byte-compare.
+
+The incremental cache maintenance of ``apply_delta`` is only allowed to keep
+a cached entry when the entry is *provably* byte-identical to what a fresh
+engine would compute on the mutated dataset (the eviction-soundness lemma in
+:mod:`repro.core.mutation`).  A stale survivor is a silently wrong answer,
+so this harness fuzzes the contract end to end: seeded random
+insert/delete/query schedules where, after every mutation, every query
+answered by the long-lived engine is byte-compared — ``V_all``, lifted
+weights, thresholds, output polytope, r-skyband ids and values — against a
+from-scratch engine built directly on the mutated dataset.
+
+200 schedules per dimension (d=3 and d=4, chunked for ``pytest-xdist``),
+plus sharded runs (1/2/4 shards, both strategies) and the shard-geometry
+edges: deleting down until shards are empty and inserting past the original
+contiguous shard bounds.
+
+The module carries the ``mutation`` marker: CI runs it in the dedicated
+``mutation-fuzz`` lane while the fast/slow lanes exclude it (a plain
+``pytest -x -q`` still runs everything).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import generate_anticorrelated, generate_independent
+from repro.engine import ShardedEngine, TopRREngine
+from repro.preference.random_regions import random_hypercube_region
+
+pytestmark = pytest.mark.mutation
+
+#: Schedules per dimension demanded by the acceptance criteria.
+N_SCHEDULES = 200
+
+
+def assert_bit_identical(result, oracle, context=""):
+    """Byte-compare every output array of a TopRR result against the oracle."""
+    assert result.vertices_reduced.tobytes() == oracle.vertices_reduced.tobytes(), context
+    assert result.full_weights.tobytes() == oracle.full_weights.tobytes(), context
+    assert result.thresholds.tobytes() == oracle.thresholds.tobytes(), context
+    assert np.array_equal(result.polytope.vertices, oracle.polytope.vertices), context
+    assert result.filtered.option_ids == oracle.filtered.option_ids, context
+    assert result.filtered.values.tobytes() == oracle.filtered.values.tobytes(), context
+
+
+def mutate_once(rng, dataset, d, max_insert=6, max_delete=4):
+    """One random insert *or* delete step; returns ``(mutated, delta)``."""
+    can_delete = dataset.n_options > 12
+    if can_delete and rng.random() < 0.45:
+        count = int(rng.integers(1, max_delete + 1))
+        victims = rng.choice(dataset.option_ids, size=count, replace=False).tolist()
+        return dataset.delete_options(option_ids=victims)
+    count = int(rng.integers(1, max_insert + 1))
+    # A mix of bulk-interior points (usually refused admission) and
+    # near-corner points (likely to enter bands and force evictions), so
+    # both maintenance verdicts are exercised.
+    values = rng.random((count, d))
+    sharp = rng.random(count) < 0.25
+    values[sharp] = 0.85 + 0.15 * rng.random((int(sharp.sum()), d))
+    return dataset.insert_options(values)
+
+
+def run_schedule(seed, d, n0, max_k, engine_factory, n_events=3, queries_per_event=2):
+    """One seeded insert/delete/query schedule against a long-lived engine.
+
+    After every mutation the engine answers ``queries_per_event`` queries,
+    each byte-compared against a fresh :class:`TopRREngine` built on the
+    mutated dataset (the oracle never sees any maintained state).
+    """
+    rng = np.random.default_rng(seed)
+    generate = generate_independent if d == 3 else generate_anticorrelated
+    dataset = generate(n0, d, rng=int(rng.integers(0, 2**31)))
+    regions = [
+        random_hypercube_region(d, 0.07, rng=int(rng.integers(0, 2**31)))
+        for _ in range(3)
+    ]
+    ks = sorted({int(rng.integers(2, max_k + 1)) for _ in range(2)})
+    engine = engine_factory(dataset)
+
+    # Warm the caches so the mutations actually have entries to maintain.
+    for region in regions:
+        for k in ks:
+            engine.query(k, region)
+
+    current = dataset
+    for event in range(n_events):
+        current, delta = mutate_once(rng, current, d)
+        engine.apply_delta(current, delta)
+        oracle_engine = TopRREngine(current, rng=0)
+        for _ in range(queries_per_event):
+            region = regions[int(rng.integers(0, len(regions)))]
+            k = ks[int(rng.integers(0, len(ks)))]
+            result = engine.query(k, region)
+            oracle = oracle_engine.query(k, region)
+            assert_bit_identical(
+                result, oracle, context=f"seed={seed} d={d} event={event} k={k}"
+            )
+            assert result.dataset is current
+    return engine
+
+
+class TestUnshardedSchedules:
+    """200 seeded schedules per dimension against :class:`TopRREngine`."""
+
+    @pytest.mark.parametrize("chunk", range(20))
+    def test_fuzz_d3(self, chunk):
+        per_chunk = N_SCHEDULES // 20
+        for i in range(per_chunk):
+            seed = 10_000 + chunk * per_chunk + i
+            run_schedule(seed, d=3, n0=60 + 10 * (seed % 7), max_k=5,
+                         engine_factory=lambda ds: TopRREngine(ds, rng=0))
+
+    @pytest.mark.parametrize("chunk", range(25))
+    def test_fuzz_d4(self, chunk):
+        per_chunk = N_SCHEDULES // 25
+        for i in range(per_chunk):
+            seed = 50_000 + chunk * per_chunk + i
+            run_schedule(seed, d=4, n0=30 + 5 * (seed % 5), max_k=3,
+                         engine_factory=lambda ds: TopRREngine(ds, rng=0),
+                         queries_per_event=1)
+
+
+class TestShardedSchedules:
+    """Sharded engines maintain the coordinator caches and remap shards."""
+
+    @pytest.mark.parametrize("strategy", ["contiguous", "hash"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_fuzz_d3(self, n_shards, strategy):
+        for i in range(4):
+            seed = 90_000 + 100 * n_shards + 10 * len(strategy) + i
+
+            def factory(ds):
+                return ShardedEngine(
+                    ds, n_shards=n_shards, strategy=strategy, executor="serial", rng=0
+                )
+
+            engine = run_schedule(seed, d=3, n0=120, max_k=5, engine_factory=factory)
+            assert engine.plan[0].n_options == engine.dataset.n_options
+            engine.close()
+
+    def test_fuzz_d4_sharded(self):
+        def factory(ds):
+            return ShardedEngine(ds, n_shards=2, strategy="hash", executor="serial", rng=0)
+
+        engine = run_schedule(95_001, d=4, n0=40, max_k=3,
+                              engine_factory=factory, queries_per_event=1)
+        engine.close()
+
+    def test_process_executor_after_mutation(self):
+        """Worker pools survive a mutation: only the plan/engines rebuild."""
+        dataset = generate_independent(600, 3, rng=3)
+        region = random_hypercube_region(3, 0.07, rng=4)
+        with ShardedEngine(dataset, n_shards=2, executor="process", rng=0) as engine:
+            engine.query(4, region)
+            mutated, delta = dataset.insert_options(
+                np.random.default_rng(5).random((30, 3))
+            )
+            engine.apply_delta(mutated, delta)
+            result = engine.query(4, region)
+            oracle = TopRREngine(mutated, rng=0).query(4, region)
+            assert_bit_identical(result, oracle)
+
+
+class TestShardGeometryEdges:
+    def test_delete_to_empty_shard(self):
+        """Deleting below the shard count leaves empty shards, not failures."""
+        dataset = generate_independent(40, 3, rng=11)
+        region = random_hypercube_region(3, 0.08, rng=12)
+        with ShardedEngine(dataset, n_shards=4, executor="serial", rng=0) as engine:
+            engine.query(3, region)
+            current = dataset
+            while current.n_options > 3:
+                count = min(8, current.n_options - 3)
+                current, delta = current.delete_options(
+                    positions=list(range(current.n_options - count, current.n_options))
+                )
+                engine.apply_delta(current, delta)
+                result = engine.query(2, region)
+                oracle = TopRREngine(current, rng=0).query(2, region)
+                assert_bit_identical(result, oracle, context=f"n={current.n_options}")
+            # 3 options across 4 shards: at least one shard is now empty.
+            assert any(spec.n_rows == 0 for spec in engine.plan)
+
+    def test_insert_past_shard_capacity(self):
+        """Inserts grow the contiguous bounds; stale bounds must never apply."""
+        dataset = generate_independent(20, 3, rng=21)
+        region = random_hypercube_region(3, 0.08, rng=22)
+        rng = np.random.default_rng(23)
+        with ShardedEngine(dataset, n_shards=4, strategy="contiguous",
+                           executor="serial", rng=0) as engine:
+            old_bounds = [spec.bounds() for spec in engine.plan]
+            engine.query(3, region)
+            # Quintuple the dataset: every original shard's row range is
+            # exceeded, so any stale position map would slice garbage.
+            current, delta = dataset.insert_options(rng.random((80, 3)))
+            engine.apply_delta(current, delta)
+            assert [spec.bounds() for spec in engine.plan] != old_bounds
+            result = engine.query(3, region)
+            oracle = TopRREngine(current, rng=0).query(3, region)
+            assert_bit_identical(result, oracle)

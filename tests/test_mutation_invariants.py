@@ -1,0 +1,292 @@
+"""Property tests for the invalidation rule itself (not just end results).
+
+Three invariants back the mutation layer's correctness argument:
+
+1. **Survivor exactness** — every cache entry ``apply_delta`` keeps must
+   equal, byte for byte, the entry a fresh engine computes for the same
+   ``(k, region)`` on the mutated dataset.
+2. **Live columns** — every vertex-score memo row (including salvaged,
+   column-remapped ones) must reference exactly the live option columns of
+   its entry's filtered dataset, and hold the same scores a fresh memo
+   computes.
+3. **Round trip** — ``insert(x)`` followed by ``delete(x)`` restores the
+   dataset, the survivor accounting, and bit-identical query results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mutation import (
+    MutationReport,
+    entry_survival,
+    position_column_map,
+    refused_admission,
+)
+from repro.core.profiles import affine_scores
+from repro.core.scorecache import VertexScoreMemo
+from repro.data.generators import generate_independent
+from repro.engine import TopRREngine
+from repro.engine.cache import MISSING
+from repro.engine.fingerprint import region_fingerprint
+from repro.preference.random_regions import random_hypercube_region
+from repro.pruning.rskyband import r_skyband
+
+
+@pytest.fixture()
+def warmed():
+    """A warmed engine plus its dataset, regions and ks."""
+    dataset = generate_independent(250, 3, rng=5)
+    regions = [random_hypercube_region(3, 0.07, rng=50 + i) for i in range(3)]
+    ks = (3, 6)
+    engine = TopRREngine(dataset, rng=0)
+    for region in regions:
+        for k in ks:
+            engine.query(k, region)
+    return engine, dataset, regions, ks
+
+
+def mutate(rng, dataset, step):
+    """Alternate inserts (mixed difficulty) and deletes, deterministically."""
+    if step % 3 == 2:
+        victims = rng.choice(dataset.option_ids, size=5, replace=False).tolist()
+        return dataset.delete_options(option_ids=victims)
+    values = rng.random((6, dataset.n_attributes))
+    if step % 3 == 1:
+        values[0] = 0.9 + 0.1 * rng.random(dataset.n_attributes)  # band-piercing
+    else:
+        values *= 0.6  # interior points: usually refused admission
+    return dataset.insert_options(values)
+
+
+class TestSurvivorExactness:
+    def test_survived_entries_equal_fresh_twins(self, warmed):
+        engine, dataset, regions, ks = warmed
+        rng = np.random.default_rng(7)
+        current = dataset
+        checked = 0
+        for step in range(6):
+            before = {key for key, _ in engine._skyband_cache.items()}
+            current, delta = mutate(rng, current, step)
+            engine.apply_delta(current, delta)
+            for region in regions:
+                for k in ks:
+                    key = (k, region_fingerprint(region))
+                    if key not in before:
+                        continue
+                    entry = engine._skyband_cache.pop(key)
+                    if entry is MISSING:
+                        continue  # evicted by the delta: rebuilt lazily
+                    filtered, working, memo, vertices = entry
+                    engine._skyband_cache.put(key, entry)
+                    kept = r_skyband(current, k, region, tol=engine.tol)
+                    twin = current.subset(kept)
+                    assert filtered.option_ids == twin.option_ids, (step, k)
+                    assert filtered.values.tobytes() == twin.values.tobytes()
+                    coefficients, constants = engine.affine_form()
+                    assert working.coefficients.tobytes() == coefficients[kept].tobytes()
+                    assert working.constants.tobytes() == constants[kept].tobytes()
+                    assert memo.n_options == twin.n_options
+                    checked += 1
+            for region in regions:  # rebuild evicted entries for the next step
+                for k in ks:
+                    engine.query(k, region)
+        assert checked, "mutations evicted every entry; survival never exercised"
+
+    def test_survival_verdict_matches_band_recompute(self):
+        """entry_survival == (recomputed band is identical), on random inputs."""
+        rng = np.random.default_rng(13)
+        agreements = evictions = 0
+        for trial in range(40):
+            dataset = generate_independent(80, 3, rng=int(rng.integers(0, 2**31)))
+            region = random_hypercube_region(3, 0.1, rng=int(rng.integers(0, 2**31)))
+            k = int(rng.integers(2, 6))
+            old_band_ids = [
+                dataset.option_ids[i] for i in r_skyband(dataset, k, region)
+            ]
+            if rng.random() < 0.5:
+                mutated, delta = dataset.insert_options(rng.random((3, 3)) ** 0.5)
+            else:
+                victims = rng.choice(dataset.option_ids, size=3, replace=False).tolist()
+                mutated, delta = dataset.delete_options(option_ids=victims)
+            survives, _tests = entry_survival(
+                mutated, delta, k, region.full_vertices(), old_band_ids
+            )
+            new_band_ids = [
+                mutated.option_ids[i] for i in r_skyband(mutated, k, region)
+            ]
+            if survives:
+                assert new_band_ids == old_band_ids, trial
+                agreements += 1
+            else:
+                evictions += 1
+        assert agreements and evictions, "fuzz never exercised both verdicts"
+
+
+class TestMemoLiveColumns:
+    def test_memo_rows_cover_exactly_live_options(self, warmed):
+        engine, dataset, regions, ks = warmed
+        rng = np.random.default_rng(11)
+        current = dataset
+        for step in range(4):
+            current, delta = mutate(rng, current, step)
+            engine.apply_delta(current, delta)
+            for region in regions:
+                for k in ks:
+                    engine.query(k, region)  # rebuild evicted entries
+            live = set(current.option_ids)
+            for _key, entry in engine._skyband_cache.items():
+                filtered, _working, memo, _vertices = entry
+                assert set(filtered.option_ids) <= live
+                assert memo.n_options == filtered.n_options
+                for row in memo._rows.values():
+                    assert row.shape == (filtered.n_options,)
+
+    def test_remapped_rows_are_bit_identical_to_fresh(self):
+        rng = np.random.default_rng(17)
+        dataset = generate_independent(60, 3, rng=19)
+        from repro.preference.space import PreferenceSpace
+
+        space = PreferenceSpace(3)
+        coefficients, constants = space.affine_score_form(dataset.values)
+        memo = VertexScoreMemo(coefficients, constants)
+        vertices = rng.random((8, 2))
+        memo.ensure_rows(vertices)
+
+        mutated, _delta = dataset.insert_options(rng.random((4, 3)))
+        mutated, _delta = mutated.delete_options(
+            option_ids=[dataset.option_ids[i] for i in (0, 7, 30)]
+        )
+        column_map = position_column_map(mutated.option_ids, dataset.option_ids)
+        new_coefficients, new_constants = space.affine_score_form(mutated.values)
+        remapped = memo.remapped(new_coefficients, new_constants, column_map)
+        assert remapped.n_options == mutated.n_options
+        fresh = affine_scores(vertices, new_coefficients, new_constants)
+        assert remapped.score_matrix(vertices).tobytes() == fresh.tobytes()
+
+    def test_salvage_dropped_on_id_reuse(self):
+        """A reused id must not resurrect a parked memo's stale column."""
+        dataset = generate_independent(50, 3, rng=23)
+        region = random_hypercube_region(3, 0.09, rng=24)
+        engine = TopRREngine(dataset, rng=0)
+        engine.query(3, region)
+        # Evict the entry by deleting one of its band members.
+        band_id = engine.query(3, region).filtered.option_ids[0]
+        current, delta = dataset.delete_options(option_ids=[band_id])
+        report = engine.apply_delta(current, delta)
+        assert report.n_entries_evicted == 1 and engine._mutation_salvage
+        # Re-insert the same id with different values: the parked memo dies.
+        current, delta = current.insert_options(
+            np.full((1, 3), 0.99), option_ids=[band_id]
+        )
+        engine.apply_delta(current, delta)
+        assert not engine._mutation_salvage
+        oracle = TopRREngine(current, rng=0).query(3, region)
+        result = engine.query(3, region)
+        assert result.vertices_reduced.tobytes() == oracle.vertices_reduced.tobytes()
+        assert result.filtered.option_ids == oracle.filtered.option_ids
+
+
+class TestRoundTrip:
+    def test_dominated_insert_round_trip_is_invisible(self, warmed):
+        """insert(x) + delete(x) of a dominated x: zero evictions, same bytes."""
+        engine, dataset, regions, ks = warmed
+        before = {
+            (k, region_fingerprint(region)): engine.query(k, region)
+            for region in regions
+            for k in ks
+        }
+        info_before = engine.cache_info()
+        x = np.full((1, 3), 0.01)  # dominated everywhere: refused by every band
+        inserted, delta_in = dataset.insert_options(x)
+        report_in = engine.apply_delta(inserted, delta_in)
+        assert report_in.n_entries_evicted == 0
+        assert report_in.n_results_evicted == 0
+        assert report_in.n_entries_survived == info_before["skyband"]["currsize"]
+
+        restored, delta_out = inserted.delete_options(option_ids=list(delta_in.inserted_ids))
+        report_out = engine.apply_delta(restored, delta_out)
+        assert report_out.n_entries_survived == report_in.n_entries_survived
+        assert report_out.n_results_survived == report_in.n_results_survived
+        assert report_out.n_entries_evicted == 0
+
+        assert restored.values.tobytes() == dataset.values.tobytes()
+        assert restored.option_ids == dataset.option_ids
+        info_after = engine.cache_info()
+        assert info_after["skyband"]["currsize"] == info_before["skyband"]["currsize"]
+        for (k, fingerprint), old_result in before.items():
+            for region in regions:
+                if region_fingerprint(region) == fingerprint:
+                    result = engine.query(k, region)
+                    # The cached objects themselves survived both deltas.
+                    assert result is old_result
+                    assert result.dataset is restored
+
+    def test_piercing_insert_round_trip_rebuilds_identically(self, warmed):
+        """insert(x) + delete(x) of a band-piercing x: evict, then rebuild
+        results bit-identical to the originals."""
+        engine, dataset, regions, ks = warmed
+        before = {
+            (k, i): engine.query(k, region)
+            for i, region in enumerate(regions)
+            for k in ks
+        }
+        x = np.full((1, 3), 0.999)  # beats everything: enters every band
+        inserted, delta_in = dataset.insert_options(x)
+        report_in = engine.apply_delta(inserted, delta_in)
+        assert report_in.n_entries_survived == 0
+        assert report_in.n_entries_evicted > 0
+
+        restored, delta_out = inserted.delete_options(option_ids=list(delta_in.inserted_ids))
+        engine.apply_delta(restored, delta_out)
+        for (k, i), old_result in before.items():
+            rebuilt = engine.query(k, regions[i])
+            assert rebuilt is not old_result  # the cache really was evicted
+            assert rebuilt.vertices_reduced.tobytes() == old_result.vertices_reduced.tobytes()
+            assert rebuilt.full_weights.tobytes() == old_result.full_weights.tobytes()
+            assert rebuilt.thresholds.tobytes() == old_result.thresholds.tobytes()
+            assert rebuilt.filtered.option_ids == old_result.filtered.option_ids
+        # The rebuilds salvaged the parked memos instead of rescoring.
+        assert engine.cache_info()["mutations"]["n_memos_salvaged"] > 0
+
+
+class TestUnits:
+    def test_refused_admission_counts_eligible_band_rows_only(self):
+        scores = np.array(
+            [
+                [1.0, 1.0],  # band row, sum 2.0
+                [0.9, 0.9],  # band row, sum 1.8
+                [0.2, 0.1],  # band row with small sum: not eligible
+                [0.8, 0.8],  # inserted row, sum 1.6 -> 2 eligible dominators
+                [0.95, 0.95],  # inserted row, sum 1.9 -> 1 eligible dominator
+            ]
+        )
+        band_rows = np.array([0, 1, 2])
+        inserted_rows = np.array([3, 4])
+        refused = refused_admission(scores, band_rows, inserted_rows, k=2)
+        assert refused.tolist() == [True, False]
+        # k=1: one dominator suffices either way.
+        refused_k1 = refused_admission(scores, band_rows, inserted_rows, k=1)
+        assert refused_k1.tolist() == [True, True]
+
+    def test_delta_version_chain_enforced(self):
+        dataset = generate_independent(30, 3, rng=31)
+        engine = TopRREngine(dataset, rng=0)
+        mutated, delta = dataset.insert_options(np.full((1, 3), 0.5))
+        twice, delta2 = mutated.insert_options(np.full((1, 3), 0.6))
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            engine.apply_delta(twice, delta2)  # skips a version
+        engine.apply_delta(mutated, delta)
+        engine.apply_delta(twice, delta2)
+        assert engine.dataset is twice and engine.n_deltas == 2
+
+    def test_report_merge_and_rate(self):
+        a = MutationReport(n_entries_survived=3, n_entries_evicted=1)
+        b = MutationReport(n_results_survived=2, n_dominance_tests=5)
+        a.merge(b)
+        assert a.n_results_survived == 2 and a.n_dominance_tests == 5
+        assert a.survivor_rate == pytest.approx(5 / 6)
+        assert MutationReport().survivor_rate == 1.0

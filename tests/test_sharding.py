@@ -162,3 +162,36 @@ class TestShardSkyband:
         empty = ShardSpec(shard_id=0, n_shards=7, n_options=3, strategy="contiguous")
         assert empty.n_rows == 0
         assert shard_skyband(scores, empty, 2).size == 0
+
+
+class TestStaleSpecGuard:
+    """Shard specs are planned for one option count; mutation re-plans."""
+
+    def test_shard_dataset_rejects_stale_spec(self):
+        dataset = generate_independent(30, 3, rng=5)
+        spec = plan_shards(30, 3, "contiguous")[0]
+        mutated, _delta = dataset.insert_options(
+            np.random.default_rng(6).random((10, 3))
+        )
+        with pytest.raises(InvalidParameterError):
+            shard_dataset(mutated, spec)  # spec planned for 30, dataset has 40
+        # The spec still applies to the dataset it was planned for.
+        assert shard_dataset(dataset, spec).n_options == spec.n_rows
+
+    def test_sharded_engine_replans_after_delta(self):
+        from repro.engine.sharded import ShardedEngine
+
+        dataset = generate_independent(24, 3, rng=7)
+        with ShardedEngine(dataset, n_shards=4, executor="serial") as engine:
+            _ = engine.shard_engines  # materialise the stale-prone state
+            old_plan = list(engine.plan)
+            mutated, delta = dataset.insert_options(
+                np.random.default_rng(8).random((16, 3))
+            )
+            engine.apply_delta(mutated, delta)
+            assert engine.dataset is mutated
+            assert all(spec.n_options == 40 for spec in engine.plan)
+            assert engine.plan != old_plan
+            # Per-shard engines were dropped and rebuild against the new plan.
+            engines = engine.shard_engines
+            assert sum(e.dataset.n_options for e in engines if e is not None) == 40
