@@ -22,6 +22,12 @@ Stream inserts/deletes through a warm engine with incremental cache
 maintenance (compare against --flush to see what the maintenance saves)::
 
     toprr mutate --n 5000 --d 3 --rounds 5 --churn 0.01
+
+Run a serving replica over HTTP, restoring warm caches from a snapshot and
+persisting them again on shutdown::
+
+    toprr serve --n 5000 --d 4 --port 8321 \
+        --snapshot caches.json --save-snapshot caches.json
 """
 
 from __future__ import annotations
@@ -216,6 +222,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "re-plan the shards automatically",
     )
     mutate.add_argument("--seed", type=int, default=7, help="random seed")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve TopRR queries over HTTP (/solve /batch /mutate /health /metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321, help="bind port; 0 picks a free one")
+    serve.add_argument("--n", type=int, default=5_000, help="number of synthetic options")
+    serve.add_argument("--d", type=int, default=4, help="number of attributes")
+    serve.add_argument("--distribution", default="IND", help="IND | COR | ANTI")
+    serve.add_argument("--method", default="tas*", help="default solver: tas* | tas | pac")
+    serve.add_argument("--seed", type=int, default=7, help="random seed")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve through the sharded engine (process-parallel pre-filter)",
+    )
+    serve.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="solver worker threads backing the event loop (default: 4)",
+    )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        help="engine snapshot to restore warm caches from on boot "
+        "(must exist; a corrupt or mismatched snapshot fails the boot loudly)",
+    )
+    serve.add_argument(
+        "--save-snapshot",
+        default=None,
+        help="write the engine's caches to this snapshot path on shutdown",
+    )
 
     return parser
 
@@ -460,6 +501,62 @@ def _command_mutate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.exceptions import SerializationError
+    from repro.serving import EngineRegistry
+    from repro.serving.server import ToprrServer
+
+    dataset = generate_synthetic(args.distribution, args.n, args.d, rng=args.seed)
+    if args.shards:
+        engine = ShardedEngine(
+            dataset, n_shards=args.shards, method=args.method, rng=args.seed
+        )
+    else:
+        engine = TopRREngine(dataset, method=args.method, rng=args.seed)
+    if args.snapshot:
+        path = Path(args.snapshot)
+        if not path.exists():
+            print(f"error: snapshot {path} does not exist", file=sys.stderr)
+            return 2
+        try:
+            counts = engine.load_caches(path)
+        except SerializationError as error:
+            print(f"error: refusing snapshot {path}: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"restored warm caches from {path}: "
+            f"{counts['skyband_entries']} skyband entries, "
+            f"{counts['result_entries']} results, {counts['memo_rows']} memo rows"
+        )
+
+    registry = EngineRegistry()
+    registry.add("default", engine)
+    server = ToprrServer(
+        registry, host=args.host, port=args.port, n_solver_threads=args.threads
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving {dataset.name} (n={dataset.n_options}, d={dataset.n_attributes}) "
+              f"at {server.url} — Ctrl-C to stop")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        if args.save_snapshot:
+            path = engine.save_caches(args.save_snapshot)
+            print(f"saved warm caches to {path}")
+        if args.shards:
+            engine.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (returns a process exit code)."""
     parser = _build_parser()
@@ -474,6 +571,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_batch(args)
     if args.command == "mutate":
         return _command_mutate(args)
+    if args.command == "serve":
+        return _command_serve(args)
     parser.print_help()
     return 1
 

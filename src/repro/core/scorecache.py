@@ -477,6 +477,79 @@ class VertexScoreMemo:
         return fresh
 
     # ------------------------------------------------------------------ #
+    # snapshot export / seeding (durable warm caches)
+    # ------------------------------------------------------------------ #
+    def export_rows(self) -> List[tuple]:
+        """Snapshot of the score-row layer as ``(vertex bytes, row)`` pairs.
+
+        Oldest-first, so replaying the pairs through :meth:`seed_rows`
+        reproduces the LRU recency order exactly.  The keys are the exact
+        float64 bytes of the reduced vertices and the rows are full-width
+        score vectors — everything the snapshot format needs to bring a
+        restarted replica's memo up byte-identical.
+        """
+        with self._lock:
+            return [(key, row.copy()) for key, row in self._rows.items()]
+
+    def export_orders(self, uid: int) -> List[tuple]:
+        """Snapshot of the ordering rows stored under one working-set uid.
+
+        Only the given ``uid``'s rows are exportable: uids are process-local,
+        so a snapshot can only meaningfully persist the orderings of the
+        working set it also persists (the root working set of a cached
+        r-skyband entry) and must re-key them on restore via
+        :meth:`seed_orders`.  Returned oldest-first, keys as vertex bytes.
+        """
+        with self._lock:
+            return [
+                (key, row.copy())
+                for (row_uid, key), row in self._orders.items()
+                if row_uid == uid
+            ]
+
+    def seed_rows(self, items: Iterable[tuple]) -> int:
+        """Install exported ``(vertex bytes, row)`` pairs; returns rows kept.
+
+        Rows are adopted in iteration order (so an :meth:`export_rows` dump
+        restores its recency order) and the LRU bound applies as usual.
+        Counters are untouched — a restored replica starts its hit/miss
+        accounting fresh.
+        """
+        from repro.exceptions import InvalidParameterError
+
+        count = 0
+        with self._lock:
+            for key, row in items:
+                row = np.ascontiguousarray(np.asarray(row, dtype=float))
+                if row.shape != (self.n_options,):
+                    raise InvalidParameterError(
+                        f"seeded score row has width {row.shape}, memo expects "
+                        f"({self.n_options},)"
+                    )
+                self._rows[bytes(key)] = row
+                self._rows.move_to_end(bytes(key))
+                count += 1
+            while len(self._rows) > self.max_rows:
+                self._rows.popitem(last=False)
+                self.row_evictions += 1
+        return count
+
+    def seed_orders(self, uid: int, items: Iterable[tuple]) -> int:
+        """Install exported ordering rows under a (fresh) working-set uid."""
+        count = 0
+        with self._lock:
+            for key, row in items:
+                self._orders[(int(uid), bytes(key))] = np.ascontiguousarray(
+                    np.asarray(row)
+                )
+                self._orders.move_to_end((int(uid), bytes(key)))
+                count += 1
+            while len(self._orders) > self.max_orders:
+                self._orders.popitem(last=False)
+                self.order_evictions += 1
+        return count
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def info(self) -> dict:

@@ -9,7 +9,7 @@ that every solver (PAC, TAS, TAS*) exposes the same bookkeeping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -199,3 +199,24 @@ class SolverStats:
         }
         data.update(self.extra)
         return data
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SolverStats":
+        """Rebuild a :class:`SolverStats` from an :meth:`as_dict` payload.
+
+        Known counters are restored as real dataclass fields (each at its
+        declared type); every other key lands in :attr:`extra`, exactly
+        where :meth:`as_dict` merged it from.  Derived values emitted by
+        ``as_dict`` (``vertex_cache_hit_rate``) are dropped rather than
+        stored, so a load→save cycle is stable.  Used by the result/cache
+        serialisation layer, where dumping everything into ``extra`` would
+        silently zero the real counters of a reloaded result.
+        """
+        stats = cls()
+        names = {f.name: f.type for f in fields(cls) if f.name != "extra"}
+        for key, value in dict(payload).items():
+            if key in names:
+                setattr(stats, key, type(getattr(stats, key))(value))
+            elif key != "vertex_cache_hit_rate":
+                stats.extra[key] = value
+        return stats

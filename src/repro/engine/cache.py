@@ -28,6 +28,17 @@ class CacheInfo:
     currsize: int
     maxsize: int
 
+    @property
+    def disabled(self) -> bool:
+        """True for a ``maxsize <= 0`` cache (lookups bypassed, nothing stored).
+
+        A disabled cache records *no* hits and *no* misses: reporting every
+        bypassed ``get`` as a miss would make a deliberately cache-less run
+        (e.g. the experiment runner's timing engines) look like a pathological
+        0% hit rate instead of "not caching at all".
+        """
+        return self.maxsize <= 0
+
     def as_dict(self) -> dict:
         """Plain-dict view for reports and ``TopRREngine.cache_info``."""
         return {
@@ -36,6 +47,7 @@ class CacheInfo:
             "evictions": self.evictions,
             "currsize": self.currsize,
             "maxsize": self.maxsize,
+            "disabled": self.disabled,
         }
 
 
@@ -56,7 +68,14 @@ class LRUCache:
         self._evictions = 0
 
     def get(self, key: Hashable) -> Any:
-        """The cached value, or :data:`MISSING`; refreshes recency on hit."""
+        """The cached value, or :data:`MISSING`; refreshes recency on hit.
+
+        A disabled cache (``maxsize <= 0``) returns :data:`MISSING` without
+        counting a miss — nothing can ever be stored, so the lookup is a
+        bypass, not a cache miss (see :attr:`CacheInfo.disabled`).
+        """
+        if self.maxsize <= 0:
+            return MISSING
         with self._lock:
             value = self._data.get(key, MISSING)
             if value is MISSING:

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -220,6 +221,16 @@ class TopRREngine:
                     self._full_memo = VertexScoreMemo(coefficients, constants)
             return self.dataset, working, self._full_memo, False
 
+        if self._skyband_cache.maxsize <= 0:
+            # Cache disabled (the experiment runner's timing engines): skip
+            # the fingerprint, the salvage lookup and the exact-vertex dump
+            # entirely — none of them can pay off, and the fingerprint's
+            # vertex enumeration would pollute the measured filter time.
+            kept = np.asarray(r_skyband(self.dataset, k, region, tol=self.tol), dtype=int)
+            filtered = self.dataset.subset(kept, name=f"{self.dataset.name}[r-skyband]")
+            working = WorkingSet.from_affine_form(coefficients[kept], constants[kept], k)
+            return filtered, working, VertexScoreMemo.for_working(working), False
+
         key = (int(k), region_fingerprint(region))
         cached = self._skyband_cache.get(key)
         if cached is not MISSING:
@@ -236,7 +247,7 @@ class TopRREngine:
         in :meth:`query`.  The sharded front end checks this before paying
         the shard fan-out for a query the result cache can already answer.
         """
-        if not isinstance(method, str):
+        if not isinstance(method, str) or self._result_cache.maxsize <= 0:
             return None
         cached = self._result_cache.get((int(k), region_fingerprint(region), method.lower()))
         return None if cached is MISSING else cached
@@ -248,7 +259,7 @@ class TopRREngine:
         cache before deciding which shards actually need to run the filter.
         Counts as a cache hit/miss like :meth:`prefiltered` does.
         """
-        if not self.prefilter:
+        if not self.prefilter or self._skyband_cache.maxsize <= 0:
             return None
         entry = self._skyband_cache.get((int(k), region_fingerprint(region)))
         return None if entry is MISSING else entry
@@ -316,7 +327,7 @@ class TopRREngine:
         method = self.method if method is None else method
 
         result_key: Optional[tuple] = None
-        if use_cache and isinstance(method, str):
+        if use_cache and isinstance(method, str) and self._result_cache.maxsize > 0:
             result_key = (int(k), region_fingerprint(region), method.lower())
             cached = self._result_cache.get(result_key)
             if cached is not MISSING:
@@ -582,6 +593,38 @@ class TopRREngine:
             self._mutation_totals.merge(report)
             self._last_mutation_report = report
         return report
+
+    # ------------------------------------------------------------------ #
+    # durable warm caches
+    # ------------------------------------------------------------------ #
+    def save_caches(self, path) -> Path:
+        """Persist the warm cache state to ``path`` (versioned JSON snapshot).
+
+        Captures every cached r-skyband entry (band membership, exact region
+        vertices, vertex-score memo) and every cached result, array-exact,
+        together with a digest of the bound dataset.  A replica restarted on
+        the same dataset restores via :meth:`load_caches` and answers the
+        snapshotted queries byte-identically, with first-query cache hits —
+        see :mod:`repro.core.serialization` for the format.
+        """
+        from repro.core.serialization import save_engine_snapshot
+
+        return save_engine_snapshot(self, path)
+
+    def load_caches(self, path) -> dict:
+        """Restore a :meth:`save_caches` snapshot into this engine's caches.
+
+        The snapshot must have been taken against this engine's exact
+        dataset content and ``prefilter`` mode; mismatches, truncated files
+        and unknown schema versions raise
+        :class:`~repro.exceptions.SerializationError`.  Returns the counts
+        of restored entries (``skyband_entries``, ``result_entries``,
+        ``memo_rows``).  Counters start fresh — only cache *contents* are
+        durable.
+        """
+        from repro.core.serialization import load_engine_snapshot
+
+        return load_engine_snapshot(self, path)
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -62,7 +62,7 @@ from repro.core.toprr import SolverLike, TopRRResult
 from repro.data.dataset import Dataset
 from repro.data.sharding import SharedMatrix, ShardSpec, plan_shards, shard_dataset
 from repro.engine.engine import TopRREngine
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import EngineClosedError, InvalidParameterError
 from repro.preference.region import PreferenceRegion
 from repro.pruning.rskyband import vertex_score_matrix
 from repro.utils.rng import RngLike
@@ -196,11 +196,25 @@ class ShardedEngine:
         )
         self._supervisor: Optional[SupervisedPool] = None
         self._lock = threading.Lock()
+        self._closed = False
         self.n_queries = 0
 
     # ------------------------------------------------------------------ #
     # owned structure
     # ------------------------------------------------------------------ #
+    @property
+    def method(self) -> SolverLike:
+        """Default solver of this engine (held by the coordinator)."""
+        return self._coordinator.method
+
+    def cached_result(self, k: int, region: PreferenceRegion, method) -> Optional[TopRRResult]:
+        """Pure result-cache peek (coordinator's cache); never fans out.
+
+        Mirrors :meth:`TopRREngine.cached_result`; usable on a closed engine
+        like the other cache introspection.
+        """
+        return self._coordinator.cached_result(k, region, method)
+
     @property
     def shard_engines(self) -> List[Optional[TopRREngine]]:
         """The per-shard engines (built lazily: zero-copy views per shard).
@@ -232,9 +246,28 @@ class ShardedEngine:
             self._shard_positions[shard_id] = self.plan[shard_id].positions()
         return self._shard_positions[shard_id]
 
+    def _check_open(self, operation: str) -> None:
+        """Raise :class:`EngineClosedError` once :meth:`close` has run.
+
+        Every entry point that could (re)create or consult the worker pool
+        is guarded: a lazily respawned pool after ``close()`` would leak
+        workers past the caller's lifecycle.  Pure cache introspection
+        (``cache_info``, ``clear_caches``, ``save_caches``, a second
+        ``close()``) intentionally stays usable.
+        """
+        if self._closed:
+            raise EngineClosedError(
+                f"cannot {operation} on a closed ShardedEngine; create a new "
+                "engine (close() shut the worker pool down for good)"
+            )
+
     def _ensure_supervisor(self) -> SupervisedPool:
         """The lazily created supervised pool (``executor="process"`` only)."""
         with self._lock:
+            if self._closed:
+                raise EngineClosedError(
+                    "cannot start a worker pool on a closed ShardedEngine"
+                )
             if self._supervisor is None:
                 self._supervisor = SupervisedPool(self.n_workers, self.resilience)
             return self._supervisor
@@ -348,6 +381,7 @@ class ShardedEngine:
         stats additionally record ``n_shards``, ``merge_seconds`` and the
         per-shard filter timings (``extra["shard_seconds"]``).
         """
+        self._check_open("query")
         self._coordinator._validate(k, region)
         with self._lock:
             self.n_queries += 1
@@ -395,6 +429,7 @@ class ShardedEngine:
         engine lives *inside* each query (across option shards), which is
         the right axis for CPU-bound work on one large catalogue.
         """
+        self._check_open("query_batch")
         return [(self.query(int(k), region, method=method, use_cache=use_cache)) for k, region in queries]
 
     def warm(self, ks: Iterable[int], regions: Iterable[PreferenceRegion]) -> int:
@@ -403,6 +438,7 @@ class ShardedEngine:
         Returns the number of combinations actually filtered (merged-cache
         hits are skipped), mirroring :meth:`TopRREngine.warm`.
         """
+        self._check_open("warm")
         regions = list(regions)
         computed = 0
         for k in ks:
@@ -431,6 +467,7 @@ class ShardedEngine:
         The worker pool is kept — workers are stateless between queries.
         Returns the coordinator's survivor/eviction accounting.
         """
+        self._check_open("apply_delta")
         report = self._coordinator.apply_delta(dataset, delta)
         with self._lock:
             self.dataset = dataset
@@ -473,7 +510,11 @@ class ShardedEngine:
         lifetime totals across every batch this engine ran.
         ``n_close_failures`` counts module-wide pool shutdowns that failed
         during garbage collection (see the warn-once in ``__del__``).
+        Raises :class:`EngineClosedError` after :meth:`close` — there is no
+        pool whose health could be reported, and "alive: False" would be
+        indistinguishable from a merely not-yet-started pool.
         """
+        self._check_open("pool_health")
         with self._lock:
             supervisor = self._supervisor
         if supervisor is None:
@@ -487,9 +528,37 @@ class ShardedEngine:
         health["n_close_failures"] = _CLOSE_FAILURES
         return health
 
+    def save_caches(self, path):
+        """Persist the coordinator's warm caches (merged skyband + results).
+
+        Delegates to :meth:`TopRREngine.save_caches`; the per-shard engines'
+        caches are *not* captured — they only accelerate the fan-out, and a
+        restored replica rebuilds them lazily from the merged entries.
+        Allowed on a closed engine (pure cache read, no pool involved).
+        """
+        return self._coordinator.save_caches(path)
+
+    def load_caches(self, path) -> dict:
+        """Restore a snapshot into the coordinator's caches (engine must be open).
+
+        A restored merged r-skyband entry short-circuits the whole shard
+        fan-out for its ``(k, region)``, so a warm-restored sharded replica
+        answers snapshotted queries without touching the pool.
+        """
+        self._check_open("load_caches")
+        return self._coordinator.load_caches(path)
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; caches stay usable)."""
+        """Shut the worker pool down for good (idempotent).
+
+        After ``close()`` the engine is terminal: ``query`` / ``warm`` /
+        ``apply_delta`` / ``pool_health`` / ``load_caches`` raise
+        :class:`EngineClosedError` instead of silently respawning a pool,
+        while ``cache_info`` / ``clear_caches`` / ``save_caches`` and a
+        second ``close()`` stay usable.
+        """
         with self._lock:
+            self._closed = True
             supervisor, self._supervisor = self._supervisor, None
         if supervisor is not None:
             supervisor.close()

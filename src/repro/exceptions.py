@@ -25,6 +25,31 @@ class InvalidParameterError(ReproError):
     """Raised when a user-supplied parameter is out of its valid domain."""
 
 
+class SerializationError(InvalidParameterError):
+    """Raised when a serialised document cannot be (safely) reconstructed.
+
+    Covers every refusal of :mod:`repro.core.serialization`: wrong or
+    truncated/corrupt payloads, schema versions newer than this library
+    reads, legacy documents that no longer carry enough data for an exact
+    reconstruction, and engine snapshots whose recorded dataset does not
+    match the dataset the restoring engine is bound to.  Loading never
+    silently degrades — it either round-trips byte-exactly or raises this.
+    Subclasses :class:`InvalidParameterError` so callers that predate the
+    split keep catching load failures under the older type.
+    """
+
+
+class EngineClosedError(ReproError):
+    """Raised when a closed :class:`~repro.engine.sharded.ShardedEngine` is used.
+
+    ``close()`` shuts the worker pool down for good; a later ``query`` /
+    ``apply_delta`` / ``pool_health`` would otherwise silently respawn a
+    pool (leaking workers past the caller's lifecycle) or consult dead
+    state.  Introspection that needs no pool — ``cache_info``,
+    ``clear_caches``, a second ``close()`` — stays usable.
+    """
+
+
 class ShardExecutionError(ReproError):
     """Raised when a shard task stays unrecoverable and serial fallback is disabled.
 

@@ -57,6 +57,67 @@ class TestLRUCache:
         assert cache.get("a") is MISSING
         assert len(cache) == 0
 
+    def test_disabled_cache_reports_distinctly_and_counts_nothing(self):
+        # Regression: a maxsize<=0 cache used to count a miss on every get,
+        # polluting hit-rate stats with lookups that could never hit.
+        cache = LRUCache(0)
+        for _ in range(5):
+            assert cache.get("a") is MISSING
+        info = cache.info()
+        assert info.disabled is True
+        assert (info.hits, info.misses, info.evictions) == (0, 0, 0)
+        assert info.as_dict()["disabled"] is True
+
+    def test_enabled_cache_is_not_reported_disabled(self):
+        cache = LRUCache(2)
+        cache.get("a")
+        info = cache.info()
+        assert info.disabled is False
+        assert info.as_dict()["disabled"] is False
+        assert info.misses == 1
+
+
+class TestDisabledEngineCaches:
+    def test_zero_cache_engine_solves_with_clean_stats(self, catalogue, regions):
+        baseline = TopRREngine(catalogue)
+        disabled = TopRREngine(catalogue, result_cache_size=0, skyband_cache_size=0)
+        for region in regions[:2]:
+            expected = baseline.query(4, region)
+            for _ in range(2):  # repeated queries can't hit anything
+                answer = disabled.query(4, region)
+                assert answer.vertices_reduced.tobytes() == expected.vertices_reduced.tobytes()
+        info = disabled.cache_info()
+        assert info["results"]["disabled"] is True
+        assert info["skyband"]["disabled"] is True
+        assert info["results"]["hits"] == 0 and info["results"]["misses"] == 0
+        assert info["skyband"]["hits"] == 0 and info["skyband"]["misses"] == 0
+
+    def test_cached_peeks_short_circuit_when_disabled(self, catalogue, regions):
+        engine = TopRREngine(catalogue, result_cache_size=0, skyband_cache_size=0)
+        engine.query(4, regions[0])
+        assert engine.cached_result(4, regions[0], "tas*") is None
+        assert engine.cached_skyband(4, regions[0]) is None
+
+
+class TestMutationCountersFromConstruction:
+    def test_cache_info_carries_zeroed_mutation_block(self, catalogue):
+        # The serving /metrics route reads these keys on a replica that has
+        # never seen a mutation; they must exist (zeroed) from construction.
+        info = TopRREngine(catalogue).cache_info()
+        mutations = info["mutations"]
+        assert mutations["n_deltas"] == 0
+        assert mutations["n_entries_survived"] == 0
+        assert mutations["n_results_survived"] == 0
+        assert mutations["n_memos_salvaged"] == 0
+        # vacuous survival: nothing was ever at risk, so the rate reads 1.0
+        assert mutations["survivor_rate"] == 1.0
+
+    def test_solver_stats_mutation_counters_zeroed(self, catalogue, regions):
+        result = TopRREngine(catalogue).query(3, regions[0])
+        stats = result.stats.as_dict()
+        for key in ("n_mutation_deltas", "n_entries_survived", "n_entries_evicted"):
+            assert stats.get(key, 0) == 0
+
 
 class TestRegionFingerprint:
     def test_equal_regions_share_fingerprints(self):

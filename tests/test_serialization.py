@@ -15,7 +15,7 @@ from repro.core.serialization import (
 )
 from repro.core.toprr import solve_toprr
 from repro.data.generators import generate_independent
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, SerializationError
 from repro.preference.region import PreferenceRegion
 
 
@@ -89,3 +89,58 @@ class TestValidation:
         path = save_result(result, tmp_path / "result.json")
         loaded = load_result(path)
         assert loaded.dataset.attribute_names == result.dataset.attribute_names
+
+
+class TestByteExactRoundTrip:
+    """Regression: loading without a dataset used to rebuild the result on a
+    synthetic schema stub, silently replacing the real option ids and values
+    (and dropping the tolerance).  Schema v2 embeds the dataset, so the
+    round trip is exact — and documents predating v2 fail loudly instead.
+    """
+
+    def test_dataset_payload_is_byte_exact(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        loaded = load_result(path)
+        assert loaded.dataset.values.tobytes() == result.dataset.values.tobytes()
+        assert list(loaded.dataset.option_ids) == list(result.dataset.option_ids)
+        assert loaded.dataset.name == result.dataset.name
+
+    def test_filtered_subset_keeps_real_option_ids(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        loaded = load_result(path)
+        assert list(loaded.filtered.option_ids) == list(result.filtered.option_ids)
+        assert loaded.filtered.values.tobytes() == result.filtered.values.tobytes()
+
+    def test_geometry_is_byte_exact(self, result, tmp_path):
+        # JSON float serialisation is repr-based, hence exact for float64:
+        # the loaded arrays must be bit-identical, not merely close.
+        loaded = load_result(save_result(result, tmp_path / "result.json"))
+        assert loaded.vertices_reduced.tobytes() == result.vertices_reduced.tobytes()
+        assert loaded.thresholds.tobytes() == result.thresholds.tobytes()
+        assert loaded.full_weights.tobytes() == result.full_weights.tobytes()
+
+    def test_tolerance_survives_the_round_trip(self, result, tmp_path):
+        loaded = load_result(save_result(result, tmp_path / "result.json"))
+        assert loaded._tol == result._tol
+
+    def test_pre_v2_document_without_dataset_fails_loudly(self, result):
+        payload = result_to_dict(result)
+        del payload["dataset"]  # what a schema-v1 writer produced
+        payload["schema_version"] = 1
+        with pytest.raises(SerializationError, match="does not embed its dataset"):
+            result_from_dict(payload)
+
+    def test_pre_v2_document_loads_with_an_explicit_dataset(self, market, result):
+        payload = result_to_dict(result)
+        del payload["dataset"]
+        payload["schema_version"] = 1
+        loaded = result_from_dict(payload, dataset=market)
+        assert list(loaded.filtered.option_ids) == list(result.filtered.option_ids)
+
+    def test_load_errors_carry_the_typed_exception(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{ this is not json")
+        with pytest.raises(SerializationError):
+            load_result(path)
+        with pytest.raises(SerializationError):
+            load_result(tmp_path / "missing.json")

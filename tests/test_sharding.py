@@ -27,7 +27,8 @@ from repro.data.sharding import (
     plan_shards,
     shard_dataset,
 )
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import EngineClosedError, InvalidParameterError, ReproError
+from repro.preference.region import PreferenceRegion
 from repro.utils.tolerance import DEFAULT_TOL
 
 
@@ -195,3 +196,77 @@ class TestStaleSpecGuard:
             # Per-shard engines were dropped and rebuild against the new plan.
             engines = engine.shard_engines
             assert sum(e.dataset.n_options for e in engines if e is not None) == 40
+
+
+class TestClosedEngineSurface:
+    """Satellite contract: every post-close call either stays safe (pure
+    cache reads) or raises the typed :class:`EngineClosedError` — never a
+    hang, a deadlock on a dead pool, or a silent wrong answer.
+    """
+
+    @pytest.fixture
+    def closed_engine(self):
+        from repro.engine.sharded import ShardedEngine
+
+        dataset = generate_independent(40, 3, rng=11)
+        engine = ShardedEngine(dataset, n_shards=2, executor="serial", rng=11)
+        region = PreferenceRegion.hyperrectangle([(0.3, 0.4), (0.3, 0.4)])
+        engine.query(3, region)
+        engine.close()
+        return engine, dataset, region
+
+    def test_query_raises_engine_closed(self, closed_engine):
+        engine, _dataset, region = closed_engine
+        with pytest.raises(EngineClosedError, match="closed ShardedEngine"):
+            engine.query(3, region)
+
+    def test_query_batch_raises_engine_closed(self, closed_engine):
+        engine, _dataset, region = closed_engine
+        with pytest.raises(EngineClosedError):
+            engine.query_batch([(3, region)])
+
+    def test_warm_raises_engine_closed(self, closed_engine):
+        engine, _dataset, region = closed_engine
+        with pytest.raises(EngineClosedError):
+            engine.warm([3], [region])
+
+    def test_apply_delta_raises_engine_closed(self, closed_engine):
+        engine, dataset, _region = closed_engine
+        mutated, delta = dataset.insert_options(
+            np.random.default_rng(12).random((2, 3))
+        )
+        with pytest.raises(EngineClosedError):
+            engine.apply_delta(mutated, delta)
+
+    def test_pool_health_raises_engine_closed(self, closed_engine):
+        engine, _dataset, _region = closed_engine
+        with pytest.raises(EngineClosedError):
+            engine.pool_health()
+
+    def test_load_caches_raises_engine_closed(self, closed_engine, tmp_path):
+        engine, _dataset, _region = closed_engine
+        path = tmp_path / "caches.json"
+        path.write_text("{}")
+        with pytest.raises(EngineClosedError):
+            engine.load_caches(path)
+
+    def test_cache_reads_stay_usable_after_close(self, closed_engine, tmp_path):
+        engine, _dataset, region = closed_engine
+        info = engine.cache_info()
+        assert info["merged"]["results"]["currsize"] >= 1
+        assert engine.cached_result(3, region, engine.method) is not None
+        path = engine.save_caches(tmp_path / "caches.json")
+        assert path.exists()
+        engine.clear_caches()
+        assert engine.cached_result(3, region, engine.method) is None
+
+    def test_close_is_idempotent(self, closed_engine):
+        engine, _dataset, _region = closed_engine
+        engine.close()  # second close must not raise
+        with pytest.raises(EngineClosedError):
+            engine.query(3, PreferenceRegion.hyperrectangle([(0.3, 0.4), (0.3, 0.4)]))
+
+    def test_error_type_is_catchable_as_repro_error(self, closed_engine):
+        engine, _dataset, _region = closed_engine
+        with pytest.raises(ReproError):
+            engine.pool_health()
